@@ -1,0 +1,81 @@
+"""Ablation: shared-cache replacement policy and capacity.
+
+§III-D1 leaves the cache policy to the operator ("FIFO or LRU"; files
+not linked by any index are the eviction candidates).  This ablation
+quantifies what the choice costs: deploy a version sequence under an
+unbounded cache, capacity-bounded LRU and FIFO, and no cache at all, and
+compare remote traffic.
+"""
+
+from repro.bench.deploy import deploy_with_gear
+from repro.bench.environment import make_testbed, publish_images
+from repro.bench.reporting import format_table, pct
+from repro.gear.pool import EvictionPolicy
+
+from conftest import run_once
+
+SERIES_UNDER_TEST = ("tomcat", "nginx", "mysql")
+
+
+def test_ablation_cache_policy(benchmark, corpus):
+    sample = []
+    for name in SERIES_UNDER_TEST:
+        sample.extend(corpus.by_series[name][:6])
+
+    def run_policy(policy, capacity):
+        """Deploy the sample as short-lived jobs.
+
+        Each container is destroyed and its *image* removed after the
+        deployment ("old images have to be replaced quickly", §II-D), so
+        cached files unpin and become eviction candidates — the regime
+        where capacity and policy actually matter.
+        """
+        testbed = make_testbed(
+            pool_capacity_bytes=capacity, pool_policy=policy or EvictionPolicy.LRU
+        )
+        publish_images(testbed, sample, convert=True)
+        client = testbed.fresh_client()
+        client.gear_driver.pool.capacity_bytes = capacity
+        client.gear_driver.pool.policy = policy or EvictionPolicy.LRU
+        total = 0
+        for generated in sample:
+            result = deploy_with_gear(
+                client, generated, clear_cache=(policy is None)
+            )
+            total += result.network_bytes
+            container = client.gear_driver.containers()[-1]
+            client.gear_driver.destroy_container(container)
+            reference = f"{generated.spec.name}.gear:{generated.tag}"
+            client.gear_driver.remove_image(reference)
+        return total, client.gear_driver.pool
+
+    def sweep():
+        # Capacity ≈ a third of the unique bytes the sweep touches: tight
+        # enough to force evictions, loose enough to retain value.
+        unbounded_bytes, pool = run_policy(EvictionPolicy.LRU, None)
+        capacity = max(1, pool.used_bytes // 3)
+        lru_bytes, _ = run_policy(EvictionPolicy.LRU, capacity)
+        fifo_bytes, _ = run_policy(EvictionPolicy.FIFO, capacity)
+        none_bytes, _ = run_policy(None, None)
+        return unbounded_bytes, lru_bytes, fifo_bytes, none_bytes
+
+    unbounded, lru, fifo, none = run_once(benchmark, sweep)
+
+    print("\nAblation — shared-cache policy vs remote traffic")
+    print(
+        format_table(
+            ["Cache configuration", "Remote bytes (MB)", "vs no cache"],
+            [
+                ("unbounded", f"{unbounded / 1e6:.1f}", pct(unbounded / none)),
+                ("LRU @ 1/3 capacity", f"{lru / 1e6:.1f}", pct(lru / none)),
+                ("FIFO @ 1/3 capacity", f"{fifo / 1e6:.1f}", pct(fifo / none)),
+                ("no cache", f"{none / 1e6:.1f}", pct(1.0)),
+            ],
+        )
+    )
+
+    # Any cache beats none; unbounded is the floor; a bounded cache sits
+    # between (evictions cost refetches).
+    assert unbounded < none
+    assert unbounded <= lru <= none
+    assert unbounded <= fifo <= none

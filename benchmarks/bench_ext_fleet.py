@@ -1,0 +1,61 @@
+"""Extension: registry load when a fleet of nodes deploys the same image.
+
+§I motivates Gear with registry pressure ("the surge in the number of
+images puts high pressure on the registry in terms of bandwidth").  This
+extension quantifies it: N nodes roll out one image; the registry's
+egress and uplink busy-time are what an operator provisions for.  Gear's
+per-deployment byte reduction translates 1:1 into fleet capacity.
+"""
+
+from repro.bench.deploy import deploy_with_docker, deploy_with_gear
+from repro.bench.environment import publish_images
+from repro.bench.reporting import format_table
+from repro.net.topology import Cluster
+
+from conftest import QUICK, run_once
+
+NODES = 4 if QUICK else 8
+
+
+def test_ext_fleet_registry_load(benchmark, corpus):
+    generated = corpus.by_series["nginx"][0]
+
+    def sweep():
+        loads = {}
+        for system, deploy in (
+            ("docker", lambda node: deploy_with_docker(node.testbed, generated)),
+            ("gear", lambda node: deploy_with_gear(node.testbed, generated)),
+        ):
+            cluster = Cluster(NODES, bandwidth_mbps=904)
+            publish_images(
+                cluster.registry_testbed, [generated], convert=True
+            )
+            publish_bytes = cluster.registry_egress_bytes
+            cluster.each_node(lambda node: deploy(node) and None)
+            loads[system] = (
+                cluster.registry_egress_bytes - publish_bytes,
+                cluster.registry_busy_seconds(),
+            )
+        return loads
+
+    loads = run_once(benchmark, sweep)
+
+    print(f"\nExtension — registry load for a {NODES}-node rollout")
+    print(
+        format_table(
+            ["System", "Registry egress (MB)", "Uplink busy (s)"],
+            [
+                (system, f"{egress / 1e6:.1f}", f"{busy:.2f}")
+                for system, (egress, busy) in loads.items()
+            ],
+        )
+    )
+    docker_egress, _ = loads["docker"]
+    gear_egress, _ = loads["gear"]
+    # Fig. 8's per-deployment reduction (~70%) shows up fleet-wide: every
+    # node downloads only its necessary files.
+    assert gear_egress < docker_egress * 0.5
+    # Docker's egress scales linearly with nodes (no cross-node sharing
+    # in either system at the registry).
+    per_node = docker_egress / NODES
+    assert per_node > generated.image.compressed_size * 0.9

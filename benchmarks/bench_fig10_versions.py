@@ -1,0 +1,105 @@
+"""Fig. 10: sequential deployment of Tomcat versions, Docker vs Slacker vs Gear.
+
+Paper (20 Tomcat versions deployed one by one):
+  * at 1000 Mbps the averages are Docker 6.08 s, Slacker 3.03 s, Gear
+    3.04 s — Slacker and Gear comparable, Docker slowest;
+  * Docker and Gear speed up on later versions thanks to layer- and
+    file-level sharing respectively; Gear's file-level sharing keeps
+    improving where Docker's layer sharing plateaus; Slacker stays flat
+    (no sharing);
+  * dropping to 100 Mbps, Docker and Slacker slow ~2.6–2.7×, Gear only
+    ~1.2×.
+"""
+
+from repro.baselines.slacker import SlackerDriver
+from repro.bench.deploy import (
+    deploy_with_docker,
+    deploy_with_gear,
+    deploy_with_slacker,
+)
+from repro.bench.environment import make_testbed, publish_images
+from repro.bench.reporting import format_table
+
+from conftest import QUICK, run_once
+
+BANDWIDTHS = (1000, 100)
+
+
+def test_fig10_version_sequence(benchmark, corpus):
+    versions = corpus.by_series["tomcat"]
+
+    def sweep():
+        results = {}
+        for bandwidth in BANDWIDTHS:
+            testbed = make_testbed(bandwidth_mbps=bandwidth)
+            publish_images(testbed, versions, convert=True)
+            # One long-lived client per system: sharing accrues across
+            # the sequence exactly as on the paper's single test node.
+            docker_client = testbed.fresh_client()
+            gear_client = testbed.fresh_client()
+            slacker = SlackerDriver(testbed.clock, testbed.link)
+            docker_times = []
+            gear_times = []
+            slacker_times = []
+            for generated in versions:
+                docker_times.append(
+                    deploy_with_docker(docker_client, generated).total_s
+                )
+                gear_times.append(
+                    deploy_with_gear(gear_client, generated).total_s
+                )
+                slacker_times.append(
+                    deploy_with_slacker(slacker, testbed, generated).total_s
+                )
+            results[bandwidth] = {
+                "docker": docker_times,
+                "slacker": slacker_times,
+                "gear": gear_times,
+            }
+        return results
+
+    results = run_once(benchmark, sweep)
+
+    for bandwidth in BANDWIDTHS:
+        entry = results[bandwidth]
+        print(f"\nFig. 10 — sequential Tomcat deployments @ {bandwidth} Mbps (s)")
+        rows = [
+            (f"v{i + 1}", f"{entry['docker'][i]:.2f}",
+             f"{entry['slacker'][i]:.2f}", f"{entry['gear'][i]:.2f}")
+            for i in range(len(entry["docker"]))
+        ]
+        averages = {k: sum(v) / len(v) for k, v in entry.items()}
+        rows.append(("avg", f"{averages['docker']:.2f}",
+                     f"{averages['slacker']:.2f}", f"{averages['gear']:.2f}"))
+        print(format_table(["Version", "Docker", "Slacker", "Gear"], rows))
+
+    fast = {k: sum(v) / len(v) for k, v in results[1000].items()}
+    slow = {k: sum(v) / len(v) for k, v in results[100].items()}
+
+    gear_series = results[1000]["gear"]
+    slacker_series = results[1000]["slacker"]
+    if not QUICK:
+        # Docker is the slowest on average at high bandwidth, and Gear
+        # improves across the sequence (file sharing).  Both effects need
+        # full-size images and a long version chain to show.
+        assert fast["docker"] > fast["gear"]
+        assert fast["docker"] > fast["slacker"]
+        assert min(gear_series[3:]) < gear_series[0] * 0.8
+    # Slacker is flat across the sequence (no sharing mechanism).
+    half = len(slacker_series) // 2
+    later_slacker = sum(slacker_series[half:]) / len(slacker_series[half:])
+    early_slacker = sum(slacker_series[:3]) / 3
+    assert abs(later_slacker - early_slacker) < 0.35 * early_slacker
+    # Bandwidth drop hurts Docker/Slacker much more than Gear (§V-E2).
+    docker_slowdown = slow["docker"] / fast["docker"]
+    slacker_slowdown = slow["slacker"] / fast["slacker"]
+    gear_slowdown = slow["gear"] / fast["gear"]
+    print(
+        f"\nslowdown 1000->100 Mbps: docker {docker_slowdown:.2f}x, "
+        f"slacker {slacker_slowdown:.2f}x, gear {gear_slowdown:.2f}x "
+        f"(paper: 2.7x / 2.6x / 1.2x)"
+    )
+    assert gear_slowdown < min(docker_slowdown, slacker_slowdown) * 0.85
+    if not QUICK:
+        assert docker_slowdown > 1.8
+        assert slacker_slowdown > 1.5

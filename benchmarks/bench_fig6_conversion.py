@@ -1,0 +1,79 @@
+"""Fig. 6: Docker→Gear conversion time per image series.
+
+Paper: average conversion ≈46 s on the testbed HDD, proportional to
+image size (per-file work dominates because image files are small), and
+an SSD cuts the node series from 105 s to 36 s (−65.7%).
+
+Absolute seconds here scale with the corpus's file-count scale (the
+synthetic images hold ~40× fewer, larger files — see DESIGN.md); the
+*shape* (time ∝ size, SSD ≫ HDD) is the reproduced result.
+"""
+
+import math
+
+from repro.bench.environment import make_testbed, publish_images
+from repro.bench.reporting import format_table
+from repro.storage.disk import SSD
+from repro.workloads.series import SERIES
+
+from conftest import run_once
+
+#: Series re-converted on the SSD profile for the HDD/SSD comparison.
+SSD_SAMPLE = ("node", "tomcat", "debian", "golang", "mysql")
+
+
+def test_fig6_conversion_time(benchmark, corpus, published):
+    _, reports = published  # HDD conversions happen at publish time
+
+    def ssd_pass():
+        testbed = make_testbed(registry_disk=SSD)
+        sample = [g for g in corpus.images if g.spec.name in SSD_SAMPLE]
+        return publish_images(testbed, sample, convert=True)
+
+    ssd_reports = run_once(benchmark, ssd_pass)
+
+    by_series = {}
+    for report in reports:
+        name = report.reference.split(":")[0]
+        by_series.setdefault(name, []).append(report)
+
+    print("\nFig. 6 — average conversion time per series (HDD), by size")
+    rows = []
+    for spec in SERIES:
+        series_reports = by_series.get(spec.name)
+        if not series_reports:
+            continue
+        avg_time = sum(r.duration_s for r in series_reports) / len(series_reports)
+        avg_size = sum(r.image_bytes for r in series_reports) / len(series_reports)
+        rows.append((spec.name, avg_size, avg_time))
+    rows.sort(key=lambda r: r[1])
+    print(
+        format_table(
+            ["Series", "Avg size (MB)", "Avg conversion (s)"],
+            [(n, f"{s / 1e6:.0f}", f"{t:.2f}") for n, s, t in rows],
+        )
+    )
+    overall = sum(t for _, __, t in rows) / len(rows)
+    print(f"overall average conversion time: {overall:.2f} s (paper: ~46 s on HDD)")
+
+    # Conversion time grows with image size (Spearman-ish check: the
+    # largest quartile must take longer than the smallest).
+    quarter = max(1, len(rows) // 4)
+    small = sum(t for _, __, t in rows[:quarter]) / quarter
+    large = sum(t for _, __, t in rows[-quarter:]) / quarter
+    assert large > 2 * small
+
+    # SSD speedup on the sampled series (paper: node −65.7%).
+    ssd_by_series = {}
+    for report in ssd_reports:
+        name = report.reference.split(":")[0]
+        ssd_by_series.setdefault(name, []).append(report.duration_s)
+    print("\nHDD vs SSD conversion:")
+    for name in SSD_SAMPLE:
+        if name not in by_series or name not in ssd_by_series:
+            continue
+        hdd = sum(r.duration_s for r in by_series[name]) / len(by_series[name])
+        ssd = sum(ssd_by_series[name]) / len(ssd_by_series[name])
+        print(f"  {name:<10} HDD {hdd:6.2f} s   SSD {ssd:6.2f} s   "
+              f"(-{100 * (1 - ssd / hdd):.1f}%)")
+        assert ssd < 0.55 * hdd

@@ -1,0 +1,87 @@
+"""Fig. 7: registry storage saving of Gear over Docker.
+
+Paper: per-category savings — Database 52.2%, Web Component 60.9%,
+Application Platform 58.6%, Others 46.7%, Linux Distro 20.5%, Language
+32.8% (Fig. 7a); storing all top-50 series together saves 53.7%, and all
+Gear indexes total ≈1.1% of the Gear footprint (Fig. 7b).
+"""
+
+from repro.bench.reporting import format_table, gb, pct
+from repro.bench.storage import (
+    category_savings,
+    compare_storage,
+    compare_storage_by_series,
+)
+from repro.workloads.series import CATEGORIES, SERIES
+
+from conftest import QUICK, run_once
+
+PAPER_7A = {
+    "Linux Distro": 0.205,
+    "Language": 0.328,
+    "Database": 0.522,
+    "Web Component": 0.609,
+    "Application Platform": 0.586,
+    "Others": 0.467,
+}
+
+
+def test_fig7a_per_category_saving(benchmark, corpus):
+    by_series = run_once(
+        benchmark, lambda: compare_storage_by_series(corpus.by_series)
+    )
+    savings = category_savings(
+        by_series, {spec.name: spec.category for spec in SERIES}
+    )
+
+    print("\nFig. 7(a) — registry storage saving per category")
+    print(
+        format_table(
+            ["Category", "Gear saving", "Paper"],
+            [
+                (category, pct(savings[category]), pct(PAPER_7A[category]))
+                for category in CATEGORIES
+                if category in savings
+            ],
+        )
+    )
+
+    # Shape: application categories save far more than base-image ones.
+    assert savings["Linux Distro"] < savings["Language"]
+    assert savings["Language"] < savings["Database"]
+    assert savings["Linux Distro"] < 0.35
+    if not QUICK:
+        # Full-corpus calibration: within 8 points of the paper per
+        # category (version-capped quick corpora dedup less).
+        for category in ("Database", "Web Component", "Application Platform"):
+            assert savings[category] > 0.45
+        for category, target in PAPER_7A.items():
+            if category in savings:
+                assert abs(savings[category] - target) < 0.08, category
+
+
+def test_fig7b_whole_registry_saving(benchmark, corpus):
+    whole = run_once(benchmark, lambda: compare_storage("top-50", corpus.images))
+
+    print("\nFig. 7(b) — whole-registry footprint, all series together")
+    print(
+        format_table(
+            ["Registry", "Stored (GB)"],
+            [
+                ("Docker (layer-level)", gb(whole.docker_bytes)),
+                ("Gear files", gb(whole.gear_file_bytes)),
+                ("Gear indexes", gb(whole.gear_index_bytes)),
+                ("Gear total", gb(whole.gear_bytes)),
+            ],
+        )
+    )
+    print(
+        f"saving: {pct(whole.saving_fraction)} (paper: 53.7%); "
+        f"index share of Gear bytes: {pct(whole.index_share)} (paper: ~1.1%)"
+    )
+
+    assert whole.index_share < 0.05
+    if QUICK:
+        assert 0.20 < whole.saving_fraction < 0.70
+    else:
+        assert 0.45 < whole.saving_fraction < 0.70

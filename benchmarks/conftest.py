@@ -1,0 +1,49 @@
+"""Shared benchmark fixtures.
+
+The benchmarks regenerate the paper's tables and figures on the synthetic
+corpus.  By default they use the full Table I corpus (50 series, 971
+images, seed 7) — the configuration the calibration in EXPERIMENTS.md was
+done against.  Set ``REPRO_BENCH_QUICK=1`` to run on a reduced corpus
+(every series, 4 versions, smaller files) for a fast smoke pass; shapes
+still hold, absolute numbers shift.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.bench.environment import make_testbed, publish_images
+from repro.workloads.corpus import Corpus, CorpusBuilder, CorpusConfig
+
+QUICK = os.environ.get("REPRO_BENCH_QUICK", "") not in ("", "0")
+
+
+def corpus_config() -> CorpusConfig:
+    if QUICK:
+        return CorpusConfig(seed=7, file_scale=0.3, size_scale=0.25, versions_cap=4)
+    return CorpusConfig(seed=7)
+
+
+@pytest.fixture(scope="session")
+def corpus() -> Corpus:
+    return CorpusBuilder(corpus_config()).build()
+
+
+@pytest.fixture(scope="session")
+def published(corpus):
+    """A testbed with every image pushed and converted, plus the
+    conversion reports (used by Fig. 6)."""
+    testbed = make_testbed()
+    reports = publish_images(testbed, corpus.images, convert=True)
+    return testbed, reports
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under pytest-benchmark.
+
+    The experiments measure *virtual* time internally; wall-clock rounds
+    would only repeat identical deterministic work.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

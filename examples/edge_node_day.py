@@ -1,0 +1,91 @@
+#!/usr/bin/env python
+"""Scenario: a day of mixed deployments on one bandwidth-limited edge node.
+
+Edge/IoT nodes redeploy a heavy-tailed mix of images all day (§V-E1
+names this the regime where Gear shines).  We generate a zipf-popular
+deployment stream with rolling version updates, replay it on one node at
+20 Mbps under Docker and under Gear, and report the latency distribution
+and total traffic.
+
+Run:  python examples/edge_node_day.py
+"""
+
+from repro.bench.deploy import deploy_with_docker, deploy_with_gear
+from repro.bench.environment import make_testbed, publish_images
+from repro.bench.reporting import format_table
+from repro.workloads.corpus import CorpusBuilder, CorpusConfig
+from repro.workloads.schedule import ScheduleBuilder
+
+EVENTS = 30
+BANDWIDTH = 20
+
+
+def percentile(values, q):
+    ordered = sorted(values)
+    index = min(len(ordered) - 1, round(q * (len(ordered) - 1)))
+    return ordered[index]
+
+
+def main() -> None:
+    print("generating the node's image mix…")
+    corpus = CorpusBuilder(
+        CorpusConfig(
+            seed=7,
+            file_scale=0.4,
+            size_scale=0.4,
+            series_names=("nginx", "redis", "python", "haproxy", "telegraf"),
+            versions_cap=6,
+        )
+    ).build()
+    schedule = ScheduleBuilder(corpus).popularity_stream(EVENTS, skew=1.1)
+    repeats = sum(1 for event in schedule if event.is_repeat)
+    print(f"schedule: {EVENTS} deployments, {repeats} repeats of hot images")
+
+    results = {}
+    for system in ("docker", "gear"):
+        testbed = make_testbed(bandwidth_mbps=BANDWIDTH)
+        publish_images(testbed, corpus.images, convert=True)
+        latencies = []
+        bytes_before = testbed.link.log.total_bytes
+        for event in schedule:
+            if system == "docker":
+                latencies.append(
+                    deploy_with_docker(testbed, event.image).total_s
+                )
+            else:
+                latencies.append(
+                    deploy_with_gear(testbed, event.image).total_s
+                )
+        results[system] = (
+            latencies,
+            testbed.link.log.total_bytes - bytes_before,
+        )
+
+    rows = []
+    for system, (latencies, traffic) in results.items():
+        rows.append(
+            (
+                system,
+                f"{sum(latencies) / len(latencies):.2f}",
+                f"{percentile(latencies, 0.5):.2f}",
+                f"{percentile(latencies, 0.95):.2f}",
+                f"{traffic / 1e6:.0f}",
+            )
+        )
+    print(f"\ndeployment latency over the day @ {BANDWIDTH} Mbps (s)")
+    print(
+        format_table(
+            ["System", "mean", "p50", "p95", "traffic (MB)"], rows
+        )
+    )
+    docker_traffic = results["docker"][1]
+    gear_traffic = results["gear"][1]
+    print(
+        f"\nGear moved {100 * (1 - gear_traffic / docker_traffic):.0f}% "
+        f"less data: repeats hit the local image/index, and new versions "
+        f"fetch only changed files."
+    )
+
+
+if __name__ == "__main__":
+    main()

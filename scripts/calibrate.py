@@ -1,0 +1,92 @@
+"""Calibration harness: prints paper-vs-measured for the headline numbers.
+
+Not part of the library; used during development to tune the corpus
+profiles and cost constants.  Usage: python scripts/calibrate.py [fast]
+"""
+
+import sys
+import time
+
+from repro.analysis import compute_dedup_table, category_redundancy
+from repro.bench.environment import make_testbed, publish_images
+from repro.bench.deploy import deploy_with_docker, deploy_with_gear
+from repro.bench.storage import compare_storage, compare_storage_by_series, category_savings
+from repro.workloads.corpus import CorpusBuilder, CorpusConfig
+from repro.workloads.series import CATEGORIES, SERIES
+
+FAST = len(sys.argv) > 1 and sys.argv[1] == "fast"
+
+
+def main():
+    t0 = time.time()
+    config = CorpusConfig()
+    corpus = CorpusBuilder(config).build()
+    print(f"[{time.time()-t0:6.1f}s] corpus: {corpus}")
+
+    # ---- Table II ----
+    table = compute_dedup_table(corpus.docker_images())
+    print(f"[{time.time()-t0:6.1f}s] Table II")
+    paper = {"No": (370, 971), "Layer-level": (98, 5670),
+             "File-level": (47, 639585), "Chunk-level": (43, 10478675)}
+    for name, bytes_, objs in table.rows():
+        pb, po = paper[name]
+        print(f"  {name:<12} {bytes_/1e9:7.1f} GB (paper {pb:4d})   "
+              f"{objs:9d} obj (paper {po})")
+    print(f"  reductions: {({k: round(v,3) for k,v in table.reduction_vs_none().items()})}"
+          f" (paper layer .74 file .87 chunk .88)")
+    print(f"  chunk blowup {table.chunk_object_blowup:.1f}x (paper 16.4x)")
+
+    # ---- Fig 2 ----
+    red = category_redundancy(corpus)
+    print(f"[{time.time()-t0:6.1f}s] Fig 2 redundancy "
+          f"(paper: DB .560 Platform .574 avg .399)")
+    for k, v in red.items():
+        print(f"  {k:<22} {v:.3f}")
+
+    # ---- Fig 7a/b ----
+    by_series = compare_storage_by_series(corpus.by_series)
+    cats = category_savings(by_series, {s.name: s.category for s in SERIES})
+    paper7a = {"Linux Distro": .205, "Language": .328, "Database": .522,
+               "Web Component": .609, "Application Platform": .586, "Others": .467}
+    print(f"[{time.time()-t0:6.1f}s] Fig 7a per-category saving")
+    for c in CATEGORIES:
+        print(f"  {c:<22} {cats.get(c, float('nan')):.3f} (paper {paper7a[c]:.3f})")
+    whole = compare_storage("top-50", corpus.images)
+    print(f"  Fig 7b whole-registry saving {whole.saving_fraction:.3f} (paper .537), "
+          f"index share {whole.index_share:.4f} (paper .011), "
+          f"docker {whole.docker_bytes/1e9:.1f} GB gear {whole.gear_bytes/1e9:.1f} GB")
+
+    # ---- Fig 8 / Fig 9 (sampled deployments) ----
+    sample = [imgs[0] for imgs in corpus.by_series.values()][:: (3 if FAST else 1)]
+    sample_all = []
+    for name, imgs in corpus.by_series.items():
+        sample_all.extend(imgs[:3])
+    testbed = make_testbed()
+    publish_images(testbed, sample_all, convert=True)
+
+    docker_bytes = gear_nc_bytes = gear_c_bytes = 0
+    docker_t = gear_nc_t = gear_c_t = 0.0
+    n = 0
+    for generated in sample_all:
+        client = testbed.fresh_client()
+        r = deploy_with_docker(client, generated)
+        docker_bytes += r.network_bytes; docker_t += r.total_s
+        client2 = testbed.fresh_client()
+        r2 = deploy_with_gear(client2, generated, clear_cache=True)
+        gear_nc_bytes += r2.network_bytes; gear_nc_t += r2.total_s
+        n += 1
+    # cached scenario: shared driver across the sweep
+    client3 = testbed.fresh_client()
+    for generated in sample_all:
+        r3 = deploy_with_gear(client3, generated)
+        gear_c_bytes += r3.network_bytes; gear_c_t += r3.total_s
+    print(f"[{time.time()-t0:6.1f}s] Fig 8 bytes: gear-nc/docker "
+          f"{gear_nc_bytes/docker_bytes:.3f} (paper .291), "
+          f"gear-cache/docker {gear_c_bytes/docker_bytes:.3f} (paper .162)")
+    print(f"  Fig 9 @904Mbps speedups: gear-nc {docker_t/gear_nc_t:.2f}x (paper 1.4), "
+          f"gear-cache {docker_t/gear_c_t:.2f}x (paper 1.64); "
+          f"docker avg {docker_t/n:.2f}s gear-nc avg {gear_nc_t/n:.2f}s")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+"""repro — a full reproduction of *Gear: Enable Efficient Container
+Storage and Deployment with a New Image Format* (ICDCS 2021).
+
+The package is organized as the paper's system plus every substrate it
+depends on:
+
+* :mod:`repro.gear` — the Gear image format and framework (the paper's
+  contribution): index, converter, registry, driver, file viewer, shared
+  cache, commit path, and the big-file chunked-read extension.
+* :mod:`repro.docker` — the Docker substrate: layered images, registry,
+  Overlay2 graph driver, daemon.
+* :mod:`repro.vfs` — an in-memory POSIX-like filesystem with a full
+  overlay/union mount implementation.
+* :mod:`repro.net` / :mod:`repro.storage` — simulated links, disks, and
+  object stores on a deterministic virtual clock.
+* :mod:`repro.dedup` / :mod:`repro.analysis` — the dedup granularity and
+  redundancy analyses of the motivation section.
+* :mod:`repro.workloads` — the synthetic Table I corpus and task models.
+* :mod:`repro.baselines` — vanilla Docker and Slacker deployment.
+* :mod:`repro.bench` — harnesses regenerating each table and figure.
+
+Quickstart::
+
+    from repro import make_testbed, CorpusBuilder, CorpusConfig
+    from repro.bench.environment import publish_images
+    from repro.bench.deploy import deploy_with_docker, deploy_with_gear
+
+    corpus = CorpusBuilder(CorpusConfig(series_names=("nginx", "debian"),
+                                        versions_cap=3)).build()
+    testbed = make_testbed(bandwidth_mbps=100)
+    publish_images(testbed, corpus.images)
+    result = deploy_with_gear(testbed, corpus.images[-1])
+    print(result.pull_s, result.run_s, result.network_bytes)
+"""
+
+from repro.bench.environment import Testbed, make_testbed
+from repro.common import SimClock
+from repro.docker import (
+    Container,
+    DockerDaemon,
+    DockerRegistry,
+    Image,
+    ImageBuilder,
+    Layer,
+    Manifest,
+    Overlay2Driver,
+)
+from repro.gear import (
+    GearConverter,
+    GearDriver,
+    GearFile,
+    GearFileViewer,
+    GearIndex,
+    GearRegistry,
+    SharedFilePool,
+)
+from repro.net import Link, RpcTransport
+from repro.vfs import FileSystemTree, OverlayMount
+from repro.workloads import Corpus, CorpusBuilder, CorpusConfig
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Testbed",
+    "make_testbed",
+    "SimClock",
+    "Container",
+    "DockerDaemon",
+    "DockerRegistry",
+    "Image",
+    "ImageBuilder",
+    "Layer",
+    "Manifest",
+    "Overlay2Driver",
+    "GearConverter",
+    "GearDriver",
+    "GearFile",
+    "GearFileViewer",
+    "GearIndex",
+    "GearRegistry",
+    "SharedFilePool",
+    "Link",
+    "RpcTransport",
+    "FileSystemTree",
+    "OverlayMount",
+    "Corpus",
+    "CorpusBuilder",
+    "CorpusConfig",
+    "__version__",
+]

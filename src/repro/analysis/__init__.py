@@ -1,0 +1,16 @@
+"""Corpus analyses backing the motivation section (Table II, Fig. 2)."""
+
+from repro.analysis.dedup_table import DedupTable, compute_dedup_table
+from repro.analysis.redundancy import (
+    SeriesRedundancy,
+    category_redundancy,
+    series_redundancy,
+)
+
+__all__ = [
+    "DedupTable",
+    "compute_dedup_table",
+    "SeriesRedundancy",
+    "series_redundancy",
+    "category_redundancy",
+]

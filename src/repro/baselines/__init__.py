@@ -1,0 +1,21 @@
+"""Baselines the paper compares against.
+
+* Vanilla Docker deployment is :mod:`repro.docker` used directly (full
+  image pull, then run) — helpers in :mod:`repro.bench.deploy`.
+* :mod:`repro.baselines.slacker` reimplements the behaviour of Slacker
+  (Harter et al., FAST'16) as the paper describes it: block-level lazy
+  pulls from an NFS-backed per-container device, with no cross-container
+  sharing (§V-E2, Fig. 10).
+"""
+
+from repro.baselines.duphunter import DupHunterRegistry
+from repro.baselines.layerpack import PackedLayout, pack_layers
+from repro.baselines.slacker import SlackerDriver, SlackerMount
+
+__all__ = [
+    "DupHunterRegistry",
+    "PackedLayout",
+    "pack_layers",
+    "SlackerDriver",
+    "SlackerMount",
+]

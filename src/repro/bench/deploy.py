@@ -1,0 +1,151 @@
+"""Deployment experiments: pull/run breakdowns for all three systems.
+
+"The process of deploying a container has two phases: pull (i.e.,
+downloading the Docker images or Gear indexes) and run (i.e., running the
+container)" (§V-E).  Each helper deploys one image on a prepared testbed,
+drives its startup trace, and returns a :class:`DeploymentResult` with
+the phase breakdown and traffic accounting the figures need.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.baselines.slacker import SlackerDriver
+from repro.bench.environment import Testbed
+from repro.workloads.corpus import GeneratedImage
+from repro.workloads.tasks import task_for_category
+
+
+@dataclass(frozen=True)
+class DeploymentResult:
+    """One container deployment, broken down by phase."""
+
+    system: str
+    reference: str
+    pull_s: float
+    run_s: float
+    network_bytes: int
+    network_requests: int
+    files_fetched: int
+    cache_hits: int
+
+    @property
+    def total_s(self) -> float:
+        return self.pull_s + self.run_s
+
+
+def deploy_with_docker(
+    testbed: Testbed, generated: GeneratedImage, *, destroy: bool = False
+) -> DeploymentResult:
+    """Vanilla Docker: download the whole image, then run the task."""
+    link_log = testbed.link.log
+    bytes_before = link_log.total_bytes
+    requests_before = link_log.total_requests
+
+    pull_timer = testbed.clock.timer()
+    report = testbed.daemon.pull(generated.reference)
+    pull_s = pull_timer.elapsed()
+
+    run_timer = testbed.clock.timer()
+    container = testbed.daemon.run(generated.reference)
+    task = task_for_category(generated.category)
+    task.run(testbed.clock, container.mount, generated.trace)
+    run_s = run_timer.elapsed()
+    if destroy:
+        testbed.daemon.destroy_container(container)
+
+    return DeploymentResult(
+        system="docker",
+        reference=generated.reference,
+        pull_s=pull_s,
+        run_s=run_s,
+        network_bytes=link_log.total_bytes - bytes_before,
+        network_requests=link_log.total_requests - requests_before,
+        files_fetched=report.layers_downloaded,
+        cache_hits=report.layers_reused,
+    )
+
+
+def deploy_with_gear(
+    testbed: Testbed,
+    generated: GeneratedImage,
+    *,
+    index_reference: Optional[str] = None,
+    clear_cache: bool = False,
+    destroy: bool = False,
+) -> DeploymentResult:
+    """Gear: pull the index, start, fault files in while running.
+
+    ``clear_cache`` reproduces the paper's no-local-cache scenario ("the
+    Gear's local cache is emptied before each deployment", §V-D).
+    """
+    reference = index_reference or _gear_reference(generated.reference)
+    if clear_cache:
+        testbed.gear_driver.pool.clear()
+    link_log = testbed.link.log
+    bytes_before = link_log.total_bytes
+    requests_before = link_log.total_requests
+
+    pull_timer = testbed.clock.timer()
+    testbed.gear_driver.pull_index(reference)
+    pull_s = pull_timer.elapsed()
+
+    run_timer = testbed.clock.timer()
+    container = testbed.gear_driver.create_container(reference)
+    testbed.gear_driver.start_container(container)
+    task = task_for_category(generated.category)
+    task.run(testbed.clock, container.mount, generated.trace)
+    run_s = run_timer.elapsed()
+    stats = container.mount.fault_stats
+    if destroy:
+        testbed.gear_driver.destroy_container(container)
+
+    return DeploymentResult(
+        system="gear",
+        reference=generated.reference,
+        pull_s=pull_s,
+        run_s=run_s,
+        network_bytes=link_log.total_bytes - bytes_before,
+        network_requests=link_log.total_requests - requests_before,
+        files_fetched=stats.remote_fetches,
+        cache_hits=stats.cache_hits,
+    )
+
+
+def deploy_with_slacker(
+    driver: SlackerDriver, testbed: Testbed, generated: GeneratedImage
+) -> DeploymentResult:
+    """Slacker: clone a device snapshot, fetch blocks while running."""
+    if not driver.has_image(generated.reference):
+        driver.provision_image(generated)
+    link_log = testbed.link.log
+    bytes_before = link_log.total_bytes
+    requests_before = link_log.total_requests
+
+    pull_timer = testbed.clock.timer()
+    mount = driver.deploy(generated.reference)
+    pull_s = pull_timer.elapsed()
+
+    run_timer = testbed.clock.timer()
+    task = task_for_category(generated.category)
+    task.run(testbed.clock, mount, generated.trace)
+    run_s = run_timer.elapsed()
+
+    return DeploymentResult(
+        system="slacker",
+        reference=generated.reference,
+        pull_s=pull_s,
+        run_s=run_s,
+        network_bytes=link_log.total_bytes - bytes_before,
+        network_requests=link_log.total_requests - requests_before,
+        files_fetched=mount.slacker_stats.files_fetched,
+        cache_hits=0,
+    )
+
+
+def _gear_reference(reference: str) -> str:
+    """Map ``name:tag`` to the converter's published index reference."""
+    name, _, tag = reference.partition(":")
+    return f"{name}.gear:{tag}"

@@ -1,0 +1,115 @@
+"""Testbed assembly.
+
+The paper's testbed (§V-A): two identical servers, one running the
+registries (Docker Registry + Gear Registry on the same node) and one
+running the Docker daemon, connected by a measured 904 Mbps link.
+:func:`make_testbed` wires the same topology out of simulated parts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Sequence
+
+from repro.common.clock import SimClock
+from repro.docker.daemon import DockerDaemon
+from repro.docker.registry import DockerRegistry
+from repro.gear.converter import GearConverter
+from repro.gear.driver import GearDriver
+from repro.gear.pool import EvictionPolicy, SharedFilePool
+from repro.gear.registry import GearRegistry
+from repro.net.link import Link
+from repro.net.transport import RpcTransport
+from repro.storage.disk import Disk, DiskProfile, HDD
+from repro.workloads.corpus import GeneratedImage
+
+
+@dataclass
+class Testbed:
+    """One client + one registry node over a configurable link."""
+
+    clock: SimClock
+    link: Link
+    transport: RpcTransport
+    docker_registry: DockerRegistry
+    gear_registry: GearRegistry
+    converter: GearConverter
+    daemon: DockerDaemon
+    gear_driver: GearDriver
+
+    def set_bandwidth(self, bandwidth_mbps: float) -> None:
+        """Change the client↔registry link speed in place."""
+        self.link.bandwidth_mbps = bandwidth_mbps
+
+    def fresh_client(self) -> "Testbed":
+        """Replace the client side (daemon, driver, cache) with new, empty
+        state, keeping the registries and clock.
+
+        Deployment sweeps use this to measure each image from a cold
+        client without rebuilding (and re-converting) the registries.
+        """
+        daemon = DockerDaemon(self.clock, self.transport)
+        driver = GearDriver(self.clock, daemon, self.transport)
+        return Testbed(
+            clock=self.clock,
+            link=self.link,
+            transport=self.transport,
+            docker_registry=self.docker_registry,
+            gear_registry=self.gear_registry,
+            converter=self.converter,
+            daemon=daemon,
+            gear_driver=driver,
+        )
+
+
+def make_testbed(
+    *,
+    bandwidth_mbps: float = 904.0,
+    registry_disk: DiskProfile = HDD,
+    client_disk: DiskProfile = HDD,
+    pool_capacity_bytes: Optional[int] = None,
+    pool_policy: EvictionPolicy = EvictionPolicy.LRU,
+) -> Testbed:
+    """Assemble the two-node testbed of §V-A."""
+    clock = SimClock()
+    link = Link(clock, bandwidth_mbps=bandwidth_mbps)
+    transport = RpcTransport(link)
+    docker_registry = DockerRegistry()
+    gear_registry = GearRegistry()
+    transport.bind(docker_registry.endpoint())
+    transport.bind(gear_registry.endpoint())
+    converter = GearConverter(
+        clock, docker_registry, gear_registry, disk=Disk(clock, registry_disk)
+    )
+    daemon = DockerDaemon(clock, transport, disk=Disk(clock, client_disk))
+    pool = SharedFilePool(capacity_bytes=pool_capacity_bytes, policy=pool_policy)
+    gear_driver = GearDriver(clock, daemon, transport, pool=pool)
+    return Testbed(
+        clock=clock,
+        link=link,
+        transport=transport,
+        docker_registry=docker_registry,
+        gear_registry=gear_registry,
+        converter=converter,
+        daemon=daemon,
+        gear_driver=gear_driver,
+    )
+
+
+def publish_images(
+    testbed: Testbed,
+    images: Iterable[GeneratedImage],
+    *,
+    convert: bool = True,
+) -> list:
+    """Push corpus images into the registries; optionally convert each.
+
+    Returns the conversion reports (empty when ``convert=False``).
+    """
+    reports = []
+    for generated in images:
+        testbed.docker_registry.push_image(generated.image)
+        if convert:
+            _, report = testbed.converter.convert(generated.reference)
+            reports.append(report)
+    return reports

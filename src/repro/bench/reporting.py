@@ -1,0 +1,33 @@
+"""Plain-text tables for benchmark output."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+
+def format_table(
+    headers: Sequence[str], rows: Iterable[Sequence[object]]
+) -> str:
+    """Render rows as an aligned ASCII table (right-align numbers)."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[i]) for i, header in enumerate(headers)),
+        "  ".join("-" * widths[i] for i in range(len(headers))),
+    ]
+    for row in materialized:
+        lines.append("  ".join(cell.rjust(widths[i]) for i, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def gb(num_bytes: float) -> str:
+    """Gigabytes with one decimal, as the paper's tables report."""
+    return f"{num_bytes / 1e9:.1f}"
+
+
+def pct(fraction: float) -> str:
+    """A fraction as a percentage string."""
+    return f"{100.0 * fraction:.1f}%"

@@ -1,0 +1,108 @@
+"""Registry storage comparison (Fig. 7).
+
+For a set of images, compares the footprint of a stock Docker registry
+(unique compressed layers + manifests) against the Gear side (compressed
+Gear files + the index images' layers in the Docker registry).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence
+
+from repro.common.units import percent
+from repro.docker.image import Image
+from repro.docker.registry import DockerRegistry
+from repro.gear.converter import GearConverter
+from repro.gear.registry import GearRegistry
+from repro.storage.disk import Disk
+from repro.common.clock import SimClock
+from repro.workloads.corpus import GeneratedImage
+
+
+@dataclass(frozen=True)
+class StorageComparison:
+    """Docker-vs-Gear registry footprints for one image set."""
+
+    label: str
+    docker_bytes: int
+    gear_file_bytes: int
+    gear_index_bytes: int
+
+    @property
+    def gear_bytes(self) -> int:
+        """Total Gear-side footprint: files plus indexes."""
+        return self.gear_file_bytes + self.gear_index_bytes
+
+    @property
+    def saving_fraction(self) -> float:
+        """Fractional space Gear saves over the Docker registry."""
+        if self.docker_bytes == 0:
+            return 0.0
+        return 1.0 - self.gear_bytes / self.docker_bytes
+
+    @property
+    def index_share(self) -> float:
+        """Index bytes as a fraction of the whole Gear footprint (the
+        paper measures ≈1.1%)."""
+        if self.gear_bytes == 0:
+            return 0.0
+        return self.gear_index_bytes / self.gear_bytes
+
+
+def compare_storage(
+    label: str, images: Sequence[GeneratedImage]
+) -> StorageComparison:
+    """Build fresh registries for ``images`` and report both footprints.
+
+    Mirrors §V-C: "We build private Gear registries and Docker registries,
+    and evaluate their respective storage demands" — per image series in
+    Fig. 7(a), for the whole top-50 corpus in Fig. 7(b).
+    """
+    clock = SimClock()
+    docker_registry = DockerRegistry()
+    gear_registry = GearRegistry()
+    converter = GearConverter(
+        clock, docker_registry, gear_registry, disk=Disk(clock)
+    )
+    index_bytes = 0
+    for generated in images:
+        docker_registry.push_image(generated.image)
+    docker_bytes = docker_registry.stored_bytes
+    for generated in images:
+        index, _ = converter.convert(generated.reference)
+        index_image = index.to_image()
+        index_bytes += index_image.compressed_size
+    return StorageComparison(
+        label=label,
+        docker_bytes=docker_bytes,
+        gear_file_bytes=gear_registry.stored_bytes,
+        gear_index_bytes=index_bytes,
+    )
+
+
+def compare_storage_by_series(
+    corpus_by_series: Dict[str, List[GeneratedImage]]
+) -> Dict[str, StorageComparison]:
+    """Fig. 7(a): one comparison per series, each in its own registries."""
+    return {
+        series: compare_storage(series, images)
+        for series, images in corpus_by_series.items()
+    }
+
+
+def category_savings(
+    by_series: Dict[str, StorageComparison],
+    series_category: Dict[str, str],
+) -> Dict[str, float]:
+    """Aggregate per-series savings into per-category byte-weighted savings."""
+    docker: Dict[str, int] = {}
+    gear: Dict[str, int] = {}
+    for series, comparison in by_series.items():
+        category = series_category[series]
+        docker[category] = docker.get(category, 0) + comparison.docker_bytes
+        gear[category] = gear.get(category, 0) + comparison.gear_bytes
+    return {
+        category: 1.0 - gear[category] / docker[category]
+        for category in docker
+    }

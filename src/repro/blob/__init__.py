@@ -1,0 +1,27 @@
+"""Virtual file content.
+
+A :class:`Blob` is the content of one regular file, represented as an
+ordered sequence of chunks.  Chunks are identified by a *seed* string and a
+size; bytes are only materialized on demand (tests, small files), so a
+multi-gigabyte corpus costs a few integers per file.
+
+Identity properties the rest of the system relies on:
+
+* two blobs with the same chunk sequence have the same MD5 fingerprint
+  (file-level dedup, Gear file naming);
+* two chunks with the same ``(seed, size)`` are identical (chunk-level
+  dedup, Table II; partial-update modelling for version chains);
+* compressed sizes are deterministic functions of chunk seeds, so layer
+  compression and Gear-file compression are reproducible.
+"""
+
+from repro.blob.blob import Blob, Chunk, DEFAULT_CHUNK_SIZE
+from repro.blob.compressibility import chunk_compressed_size, chunk_compressibility
+
+__all__ = [
+    "Blob",
+    "Chunk",
+    "DEFAULT_CHUNK_SIZE",
+    "chunk_compressed_size",
+    "chunk_compressibility",
+]

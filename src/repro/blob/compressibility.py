@@ -1,0 +1,61 @@
+"""Deterministic compression model for virtual content.
+
+Real registries store layers as compressed tarballs (§II-B) and Gear files
+"can be further compressed" (§III-C).  We cannot gzip content we never
+materialize, so each chunk gets a *compressibility ratio* derived
+deterministically from its seed: ratio 0.2 means the chunk compresses to
+20% of its size.  The distribution is tuned to container-image reality —
+a mix of already-compressed payloads (ratio ≈ 1.0), binaries (≈ 0.45), and
+text/config (≈ 0.25) — giving corpus-wide tarball ratios near the 3.54×
+layer-compression factor Docker reports (§II-B cites 3.54× combined with
+layer dedup).
+
+Crucially the model preserves the paper's key observation about
+compression and dedup (§VI-A): identical chunks always compress to
+identical sizes, but a tarball of *similar* layers compresses as the sum
+of its parts — two near-identical compressed layers are still distinct
+objects, which is why registry-side dedup must operate on uncompressed
+content.
+"""
+
+from __future__ import annotations
+
+from repro.blob.blob import Blob, Chunk
+from repro.common.hashing import stable_unit_interval
+
+#: Minimum bytes a non-empty chunk can compress to (header overhead).
+_MIN_COMPRESSED = 16
+
+#: Weight, low, high of each content class in the compressibility mixture.
+_CLASSES = (
+    (0.15, 0.92, 1.00),  # already compressed (archives, images, .gz)
+    (0.50, 0.35, 0.60),  # binaries, shared objects
+    (0.35, 0.12, 0.35),  # text, config, scripts, locale data
+)
+
+
+def chunk_compressibility(seed: str) -> float:
+    """Compressibility ratio in (0, 1] for the chunk with this seed."""
+    class_point = stable_unit_interval("compress-class", seed)
+    cumulative = 0.0
+    for weight, lo, hi in _CLASSES:
+        cumulative += weight
+        if class_point <= cumulative:
+            spread = stable_unit_interval("compress-ratio", seed)
+            return lo + (hi - lo) * spread
+    # Floating point slack: behave like the final class.
+    __, lo, hi = _CLASSES[-1]
+    return lo + (hi - lo) * stable_unit_interval("compress-ratio", seed)
+
+
+def chunk_compressed_size(chunk: Chunk) -> int:
+    """Compressed size of one chunk, deterministic in its identity."""
+    if chunk.size == 0:
+        return 0
+    ratio = chunk_compressibility(chunk.seed)
+    return max(_MIN_COMPRESSED, min(chunk.size, round(chunk.size * ratio)))
+
+
+def blob_compressed_size(blob: Blob) -> int:
+    """Compressed size of a whole blob (sum of its chunks)."""
+    return sum(chunk_compressed_size(chunk) for chunk in blob.chunks)

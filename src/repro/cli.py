@@ -1,0 +1,190 @@
+"""Command-line interface: ``python -m repro.cli <command>``.
+
+Commands:
+
+* ``demo``     — the quickstart flow (build → convert → lazy deploy);
+* ``dedup``    — Table II dedup study on a corpus subset;
+* ``storage``  — Fig. 7-style Docker-vs-Gear registry footprints;
+* ``deploy``   — deploy one series under docker/gear/slacker at a chosen
+  bandwidth and print the pull/run breakdown;
+* ``catalog``  — list the Table I series catalog.
+
+All commands run entirely in-process on the simulated testbed; sizes and
+times are virtual but deterministic in ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.analysis import compute_dedup_table
+from repro.baselines.slacker import SlackerDriver
+from repro.bench.deploy import (
+    deploy_with_docker,
+    deploy_with_gear,
+    deploy_with_slacker,
+)
+from repro.bench.environment import make_testbed, publish_images
+from repro.bench.reporting import format_table, gb, pct
+from repro.bench.storage import compare_storage
+from repro.workloads.corpus import CorpusBuilder, CorpusConfig
+from repro.workloads.series import SERIES
+
+
+def _corpus(args, series: Optional[tuple] = None):
+    return CorpusBuilder(
+        CorpusConfig(
+            seed=args.seed,
+            file_scale=args.scale,
+            size_scale=args.scale,
+            series_names=series or (tuple(args.series) if args.series else None),
+            versions_cap=args.versions,
+        )
+    ).build()
+
+
+def cmd_catalog(args) -> int:
+    """List the Table I series catalog."""
+    rows = [
+        (spec.name, spec.category, spec.versions, spec.base_distro or "-")
+        for spec in SERIES
+    ]
+    print(format_table(["Series", "Category", "Versions", "Base"], rows))
+    return 0
+
+
+def _run_demo() -> int:
+    from repro import ImageBuilder
+
+    testbed = make_testbed(bandwidth_mbps=100)
+    image = (
+        ImageBuilder("app", "v1")
+        .add_file("/bin/app", b"\x7fELF" * 50_000, mode=0o755)
+        .add_file("/etc/app.conf", "mode=demo\n")
+        .build()
+    )
+    testbed.docker_registry.push_image(image)
+    index, report = testbed.converter.convert("app:v1")
+    print(f"converted app:v1 -> {index.reference} "
+          f"({report.gear_files_new} gear files, index {report.index_bytes} B)")
+    container, deploy_report = testbed.gear_driver.deploy("app.gear:v1")
+    print(f"deployed {container.id}: index pull took {deploy_report.pull_s:.3f} s")
+    container.mount.read_bytes("/etc/app.conf")
+    print(f"first read faulted {container.mount.fault_stats.remote_fetches} "
+          f"file(s); wire bytes: {testbed.link.log.total_bytes}")
+    return 0
+
+
+def cmd_dedup(args) -> int:
+    """Table II dedup study on the configured corpus subset."""
+    corpus = _corpus(args)
+    table = compute_dedup_table(corpus.docker_images())
+    print(
+        format_table(
+            ["Granularity", "Stored (GB)", "Objects", "Reduction"],
+            [
+                (name, gb(size), f"{objects:,}",
+                 pct(1 - size / table.none.storage_bytes))
+                for name, size, objects in table.rows()
+            ],
+        )
+    )
+    return 0
+
+
+def cmd_storage(args) -> int:
+    """Docker-vs-Gear registry footprint for the configured corpus."""
+    corpus = _corpus(args)
+    whole = compare_storage("corpus", corpus.images)
+    print(
+        format_table(
+            ["Registry", "Stored (GB)"],
+            [
+                ("Docker", gb(whole.docker_bytes)),
+                ("Gear (files+indexes)", gb(whole.gear_bytes)),
+            ],
+        )
+    )
+    print(f"saving: {pct(whole.saving_fraction)}  "
+          f"(index share {pct(whole.index_share)})")
+    return 0
+
+
+def cmd_deploy(args) -> int:
+    """Deploy one series under Docker, Gear, and Slacker."""
+    corpus = _corpus(args, series=(args.target,))
+    images = corpus.by_series[args.target]
+    testbed = make_testbed(bandwidth_mbps=args.bandwidth)
+    publish_images(testbed, corpus.images, convert=True)
+    slacker = SlackerDriver(testbed.clock, testbed.link)
+    rows = []
+    for generated in images:
+        docker = deploy_with_docker(testbed.fresh_client(), generated)
+        gear = deploy_with_gear(testbed, generated)
+        slk = deploy_with_slacker(slacker, testbed, generated)
+        rows.append(
+            (
+                generated.tag,
+                f"{docker.pull_s:.2f}/{docker.run_s:.2f}",
+                f"{gear.pull_s:.2f}/{gear.run_s:.2f}",
+                f"{slk.pull_s:.2f}/{slk.run_s:.2f}",
+            )
+        )
+    print(f"deploying {args.target} @ {args.bandwidth} Mbps — pull/run (s)")
+    print(format_table(["Version", "Docker", "Gear", "Slacker"], rows))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (shared options on every command)."""
+    common = argparse.ArgumentParser(add_help=False)
+    common.add_argument("--seed", type=int, default=7)
+    common.add_argument(
+        "--scale", type=float, default=0.4,
+        help="file-count/size scale of the synthetic corpus",
+    )
+    common.add_argument("--versions", type=int, default=6,
+                        help="versions per series")
+    common.add_argument(
+        "--series", nargs="*", default=["nginx", "tomcat"],
+        help="series to generate (default: nginx tomcat)",
+    )
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Gear (ICDCS 2021) reproduction CLI",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("catalog", parents=[common],
+                   help="list the Table I series catalog")
+    sub.add_parser("demo", parents=[common],
+                   help="build -> convert -> lazy deploy walkthrough")
+    sub.add_parser("dedup", parents=[common], help="Table II dedup study")
+    sub.add_parser("storage", parents=[common],
+                   help="Docker vs Gear registry footprint")
+    deploy = sub.add_parser("deploy", parents=[common],
+                            help="deploy a series under all systems")
+    deploy.add_argument("--target", default="nginx")
+    deploy.add_argument("--bandwidth", type=float, default=100.0)
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    if args.command == "catalog":
+        return cmd_catalog(args)
+    if args.command == "demo":
+        return _run_demo()
+    if args.command == "dedup":
+        return cmd_dedup(args)
+    if args.command == "storage":
+        return cmd_storage(args)
+    if args.command == "deploy":
+        return cmd_deploy(args)
+    raise AssertionError("unreachable")
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,90 @@
+"""A simulated clock.
+
+All performance numbers in the reproduction (conversion times, pull/run
+deployment phases, service throughput) are accounted on a virtual clock
+rather than wall time, so results are exact, deterministic, and independent
+of the host machine.  Components that consume time (disks, network links,
+task models) call :meth:`SimClock.advance`; experiment harnesses read
+:attr:`SimClock.now` before and after an operation to time it.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+
+class SimClock:
+    """A monotonically advancing virtual clock with optional event trace.
+
+    The clock is deliberately simple: the simulation is sequential (one
+    client deploying containers against registries), so a full discrete
+    event queue is unnecessary; each cost model just advances the shared
+    clock by the time its operation takes.
+    """
+
+    __slots__ = ("_now", "_trace", "_tracing")
+
+    def __init__(self, *, trace: bool = False) -> None:
+        self._now: float = 0.0
+        self._tracing = trace
+        self._trace: List[Tuple[float, str]] = []
+
+    @property
+    def now(self) -> float:
+        """Current virtual time in seconds since the clock was created."""
+        return self._now
+
+    def advance(self, seconds: float, label: str = "") -> float:
+        """Advance the clock by ``seconds`` and return the new time.
+
+        ``seconds`` must be non-negative; cost models must never produce
+        negative durations.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds} s")
+        self._now += seconds
+        if self._tracing and label:
+            self._trace.append((self._now, label))
+        return self._now
+
+    def reset(self) -> None:
+        """Reset virtual time to zero and clear any trace."""
+        self._now = 0.0
+        self._trace.clear()
+
+    @property
+    def trace(self) -> List[Tuple[float, str]]:
+        """Recorded ``(timestamp, label)`` events (only when tracing)."""
+        return list(self._trace)
+
+    def timer(self) -> "Stopwatch":
+        """Return a stopwatch anchored at the current virtual time."""
+        return Stopwatch(self)
+
+    def __repr__(self) -> str:
+        return f"SimClock(now={self._now:.6f})"
+
+
+class Stopwatch:
+    """Measures elapsed virtual time between creation and :meth:`elapsed`."""
+
+    __slots__ = ("_clock", "_start")
+
+    def __init__(self, clock: SimClock) -> None:
+        self._clock = clock
+        self._start = clock.now
+
+    @property
+    def start(self) -> float:
+        """Virtual time at which the stopwatch was created."""
+        return self._start
+
+    def elapsed(self) -> float:
+        """Virtual seconds since the stopwatch was created."""
+        return self._clock.now - self._start
+
+    def restart(self) -> float:
+        """Re-anchor at the current time, returning the previous lap."""
+        lap = self.elapsed()
+        self._start = self._clock.now
+        return lap

@@ -1,0 +1,68 @@
+"""Exception hierarchy for the whole reproduction.
+
+Every error raised by :mod:`repro` derives from :class:`ReproError` so that
+callers can catch library failures without swallowing programming errors.
+"""
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the repro library."""
+
+
+class NotFoundError(ReproError, KeyError):
+    """A requested object (file, layer, image, blob) does not exist.
+
+    Also derives from ``KeyError`` because most lookups are mapping-like.
+    """
+
+    def __str__(self) -> str:  # KeyError quotes its message; keep it plain.
+        return Exception.__str__(self)
+
+
+class StorageError(ReproError):
+    """A storage backend (disk, pool, object store) rejected an operation."""
+
+
+class TransportError(ReproError):
+    """A simulated network transfer failed (unreachable peer, bad frame)."""
+
+
+class IntegrityError(ReproError):
+    """Content failed verification against its digest or fingerprint."""
+
+
+class CollisionError(IntegrityError):
+    """Two distinct contents mapped to the same fingerprint.
+
+    The paper (§III-B) discusses MD5 collisions: detection happens during
+    conversion by comparing contents on fingerprint match; colliding files
+    get unique IDs instead of fingerprints.
+    """
+
+
+class GearError(ReproError):
+    """An operation violated the Gear image format or framework contract."""
+
+
+class VfsError(ReproError):
+    """A virtual filesystem operation failed (bad path, wrong node type)."""
+
+
+class IsADirectoryVfsError(VfsError):
+    """Expected a non-directory node but found a directory."""
+
+
+class NotADirectoryVfsError(VfsError):
+    """Expected a directory node on the path but found something else."""
+
+
+class FileExistsVfsError(VfsError):
+    """Attempted to create a node over an existing one without overwrite."""
+
+
+class SymlinkLoopError(VfsError):
+    """Path resolution followed too many symbolic links (ELOOP)."""
+
+
+class ReadOnlyVfsError(VfsError):
+    """Attempted to mutate a read-only filesystem or layer."""

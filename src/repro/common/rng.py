@@ -1,0 +1,63 @@
+"""Deterministic random number generation helpers.
+
+The synthetic corpus (see :mod:`repro.workloads.corpus`) must be exactly
+reproducible: the same seed must yield byte-identical fingerprints, sizes,
+and access traces on every run and platform.  We therefore route all
+randomness through :class:`random.Random` instances derived from explicit
+string seeds, never the global generator.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.common.hashing import stable_u64
+
+
+def rng_for(*tokens: str) -> random.Random:
+    """Return a ``random.Random`` seeded deterministically from tokens.
+
+    Two calls with the same tokens yield generators producing identical
+    streams, regardless of call order or interpreter hash randomization.
+    """
+    return random.Random(stable_u64(*tokens))
+
+
+def weighted_choice(rng: random.Random, weights: "dict[str, float]") -> str:
+    """Pick a key from ``weights`` proportionally to its value."""
+    if not weights:
+        raise ValueError("weighted_choice requires a non-empty mapping")
+    total = sum(weights.values())
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    point = rng.random() * total
+    cumulative = 0.0
+    for key, weight in weights.items():
+        cumulative += weight
+        if point <= cumulative:
+            return key
+    # Floating point slack: fall back to the last key.
+    return key
+
+
+def bounded_lognormal(
+    rng: random.Random, median: float, sigma: float, lo: float, hi: float
+) -> float:
+    """Sample a lognormal value with the given median, clamped to [lo, hi].
+
+    File sizes in container images are heavy-tailed ("files are usually
+    small", §V-B); a clamped lognormal reproduces that shape without
+    extreme outliers destabilizing the calibration.
+    """
+    if lo > hi:
+        raise ValueError(f"invalid bounds: lo={lo} > hi={hi}")
+    value = rng.lognormvariate(_ln(median), sigma)
+    return min(hi, max(lo, value))
+
+
+def _ln(x: float) -> float:
+    import math
+
+    if x <= 0:
+        raise ValueError(f"median must be positive, got {x}")
+    return math.log(x)

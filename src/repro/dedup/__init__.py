@@ -1,0 +1,23 @@
+"""Deduplication engines at the three granularities of Table II.
+
+The paper motivates file-level management by comparing registry storage
+under no dedup, layer-level, file-level, and 128 KB chunk-level dedup
+(§II-D, Table II).  Each engine consumes a set of images and reports the
+unique-object count and stored byte totals, with and without compression.
+"""
+
+from repro.dedup.engines import (
+    DedupReport,
+    chunk_level_dedup,
+    file_level_dedup,
+    layer_level_dedup,
+    no_dedup,
+)
+
+__all__ = [
+    "DedupReport",
+    "no_dedup",
+    "layer_level_dedup",
+    "file_level_dedup",
+    "chunk_level_dedup",
+]

@@ -1,0 +1,32 @@
+"""The Docker substrate.
+
+A functional reimplementation of the parts of Docker 18.09 the paper
+builds on (§II): layered images identified by SHA-256 digests, manifests,
+a registry storing compressed layer tarballs with layer-level dedup, the
+Overlay2 graph driver, and a daemon with pull / run / commit / push.
+
+The Gear framework (:mod:`repro.gear`) plugs into this substrate exactly
+where the paper plugs into Docker: Gear indexes travel as single-layer
+Docker images through the unmodified registry/daemon path, and the Gear
+File Viewer extends the Overlay2 mount.
+"""
+
+from repro.docker.container import Container, ContainerState
+from repro.docker.daemon import DockerDaemon
+from repro.docker.graphdriver import Overlay2Driver
+from repro.docker.image import Image, ImageConfig, Layer, Manifest
+from repro.docker.builder import ImageBuilder
+from repro.docker.registry import DockerRegistry
+
+__all__ = [
+    "Container",
+    "ContainerState",
+    "DockerDaemon",
+    "Overlay2Driver",
+    "Image",
+    "ImageConfig",
+    "Layer",
+    "Manifest",
+    "ImageBuilder",
+    "DockerRegistry",
+]

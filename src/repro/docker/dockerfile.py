@@ -1,0 +1,296 @@
+"""A Dockerfile mini-language for building images.
+
+The corpus generator builds images programmatically, but a
+Docker-compatible framework should also build them the way users do: from
+a build script.  This module implements the subset of Dockerfile
+instructions the reproduction's workloads need:
+
+``FROM <ref>|scratch``, ``COPY <path> <content…>``, ``RUN rm -rf <path>``,
+``RUN mkdir -p <path>``, ``RUN ln -s <target> <path>``, ``ENV K=V``,
+``WORKDIR``, ``ENTRYPOINT``, ``CMD``, ``LABEL``, and ``#`` comments.
+
+``COPY`` sources come from a *build context* mapping (path → content),
+mirroring the directory a real build sends to the daemon.  Each ``RUN``
+and each contiguous group of ``COPY`` instructions commits one layer, so
+layer structure matches what Docker would produce closely enough for the
+dedup experiments to be meaningful on hand-built images too.
+"""
+
+from __future__ import annotations
+
+import shlex
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.blob import Blob
+from repro.common.errors import ReproError
+from repro.docker.builder import ImageBuilder
+from repro.docker.image import Image, ImageConfig
+
+
+class DockerfileError(ReproError):
+    """A build script failed to parse or execute."""
+
+    def __init__(self, line_no: int, line: str, reason: str) -> None:
+        super().__init__(f"line {line_no}: {reason}: {line!r}")
+        self.line_no = line_no
+        self.line = line
+        self.reason = reason
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One parsed Dockerfile instruction."""
+
+    line_no: int
+    keyword: str
+    args: Tuple[str, ...]
+    raw: str
+
+
+def parse(text: str) -> List[Instruction]:
+    """Parse Dockerfile text into instructions.
+
+    Supports ``#`` comments, blank lines, and ``\\`` line continuations.
+    """
+    instructions: List[Instruction] = []
+    pending = ""
+    pending_start = 0
+    for line_no, raw in enumerate(text.splitlines(), start=1):
+        stripped = raw.strip()
+        if not pending and (not stripped or stripped.startswith("#")):
+            continue
+        if not pending:
+            pending_start = line_no
+        if stripped.endswith("\\"):
+            pending += stripped[:-1] + " "
+            continue
+        pending += stripped
+        line = pending
+        pending = ""
+        try:
+            tokens = shlex.split(line)
+        except ValueError as exc:
+            raise DockerfileError(pending_start, line, f"unparseable ({exc})")
+        if not tokens:
+            continue
+        keyword = tokens[0].upper()
+        instructions.append(
+            Instruction(
+                line_no=pending_start,
+                keyword=keyword,
+                args=tuple(tokens[1:]),
+                raw=line,
+            )
+        )
+    if pending:
+        raise DockerfileError(pending_start, pending, "dangling continuation")
+    return instructions
+
+
+class DockerfileBuilder:
+    """Executes a parsed Dockerfile against a build context.
+
+    ``resolve_base`` maps a ``FROM`` reference to an :class:`Image`
+    (usually the local daemon's image store or a registry lookup).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tag: str,
+        *,
+        context: Optional[Dict[str, "Blob | bytes | str"]] = None,
+        resolve_base: Optional[Callable[[str], Image]] = None,
+    ) -> None:
+        self.name = name
+        self.tag = tag
+        self.context = dict(context or {})
+        self.resolve_base = resolve_base
+        self._builder: Optional[ImageBuilder] = None
+        self._env: Dict[str, str] = {}
+        self._labels: Dict[str, str] = {}
+        self._workdir = "/"
+        self._entrypoint: Tuple[str, ...] = ()
+        self._cmd: Tuple[str, ...] = ()
+        #: COPY groups coalesce into one layer until a RUN breaks them.
+        self._copy_group_open = False
+
+    # -- public ------------------------------------------------------------
+
+    def build(self, text: str) -> Image:
+        instructions = parse(text)
+        if not instructions or instructions[0].keyword != "FROM":
+            line = instructions[0] if instructions else None
+            raise DockerfileError(
+                line.line_no if line else 1,
+                line.raw if line else "",
+                "build scripts must start with FROM",
+            )
+        for instruction in instructions:
+            self._execute(instruction)
+        if self._builder is None:
+            raise DockerfileError(1, "", "FROM was never executed")
+        self._seal_layer()
+        self._builder.set_config(
+            ImageConfig.make(
+                env=self._env,
+                entrypoint=self._entrypoint,
+                cmd=self._cmd,
+                workdir=self._workdir,
+                labels=self._labels,
+            )
+        )
+        return self._builder.build()
+
+    # -- execution ----------------------------------------------------------
+
+    def _execute(self, instruction: Instruction) -> None:
+        handler = getattr(self, f"_op_{instruction.keyword.lower()}", None)
+        if handler is None:
+            raise DockerfileError(
+                instruction.line_no, instruction.raw,
+                f"unsupported instruction {instruction.keyword}",
+            )
+        handler(instruction)
+
+    def _require_builder(self, instruction: Instruction) -> ImageBuilder:
+        if self._builder is None:
+            raise DockerfileError(
+                instruction.line_no, instruction.raw, "no FROM yet"
+            )
+        return self._builder
+
+    def _seal_layer(self) -> None:
+        if self._builder is not None and self._builder.has_pending_changes():
+            self._builder.commit_layer()
+        self._copy_group_open = False
+
+    def _op_from(self, instruction: Instruction) -> None:
+        if self._builder is not None:
+            raise DockerfileError(
+                instruction.line_no, instruction.raw,
+                "multi-stage builds are not supported",
+            )
+        if len(instruction.args) != 1:
+            raise DockerfileError(
+                instruction.line_no, instruction.raw, "FROM takes one reference"
+            )
+        reference = instruction.args[0]
+        if reference == "scratch":
+            base = None
+        else:
+            if self.resolve_base is None:
+                raise DockerfileError(
+                    instruction.line_no, instruction.raw,
+                    "FROM needs a base resolver",
+                )
+            base = self.resolve_base(reference)
+        self._builder = ImageBuilder(self.name, self.tag, base=base)
+        if base is not None:
+            self._env = base.config.env_dict()
+            self._labels = dict(base.config.labels)
+            self._workdir = base.config.workdir
+            self._entrypoint = base.config.entrypoint
+            self._cmd = base.config.cmd
+
+    def _op_copy(self, instruction: Instruction) -> None:
+        builder = self._require_builder(instruction)
+        if len(instruction.args) != 2:
+            raise DockerfileError(
+                instruction.line_no, instruction.raw, "COPY takes <src> <dst>"
+            )
+        src, dst = instruction.args
+        if src not in self.context:
+            raise DockerfileError(
+                instruction.line_no, instruction.raw,
+                f"context has no entry {src!r}",
+            )
+        destination = dst if dst.startswith("/") else self._join_workdir(dst)
+        builder.add_file(destination, self.context[src])
+        self._copy_group_open = True
+
+    def _op_run(self, instruction: Instruction) -> None:
+        builder = self._require_builder(instruction)
+        if self._copy_group_open:
+            self._seal_layer()
+        args = instruction.args
+        if len(args) >= 2 and args[0] == "rm" and args[1] in ("-rf", "-r", "-f"):
+            for victim in args[2:]:
+                builder.remove(self._absolute(victim))
+        elif len(args) >= 2 and args[0] == "mkdir":
+            targets = args[2:] if args[1] == "-p" else args[1:]
+            for target in targets:
+                builder.mkdir(self._absolute(target))
+        elif len(args) == 4 and args[0] == "ln" and args[1] == "-s":
+            builder.add_symlink(self._absolute(args[3]), args[2])
+        elif len(args) >= 2 and args[0] == "touch":
+            for target in args[1:]:
+                builder.add_file(self._absolute(target), b"")
+        else:
+            raise DockerfileError(
+                instruction.line_no, instruction.raw,
+                "RUN supports rm/mkdir/ln -s/touch in this reproduction",
+            )
+        self._seal_layer()
+
+    def _op_env(self, instruction: Instruction) -> None:
+        self._require_builder(instruction)
+        for pair in instruction.args:
+            key, sep, value = pair.partition("=")
+            if not sep:
+                raise DockerfileError(
+                    instruction.line_no, instruction.raw, "ENV takes K=V pairs"
+                )
+            self._env[key] = value
+
+    def _op_label(self, instruction: Instruction) -> None:
+        self._require_builder(instruction)
+        for pair in instruction.args:
+            key, sep, value = pair.partition("=")
+            if not sep:
+                raise DockerfileError(
+                    instruction.line_no, instruction.raw, "LABEL takes K=V pairs"
+                )
+            self._labels[key] = value
+
+    def _op_workdir(self, instruction: Instruction) -> None:
+        builder = self._require_builder(instruction)
+        if len(instruction.args) != 1:
+            raise DockerfileError(
+                instruction.line_no, instruction.raw, "WORKDIR takes one path"
+            )
+        self._workdir = self._absolute(instruction.args[0])
+        builder.mkdir(self._workdir)
+
+    def _op_entrypoint(self, instruction: Instruction) -> None:
+        self._require_builder(instruction)
+        self._entrypoint = instruction.args
+
+    def _op_cmd(self, instruction: Instruction) -> None:
+        self._require_builder(instruction)
+        self._cmd = instruction.args
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _absolute(self, path: str) -> str:
+        return path if path.startswith("/") else self._join_workdir(path)
+
+    def _join_workdir(self, path: str) -> str:
+        from repro.vfs import paths
+
+        return paths.join(self._workdir, *path.split("/"))
+
+
+def build_from_dockerfile(
+    text: str,
+    name: str,
+    tag: str,
+    *,
+    context: Optional[Dict[str, "Blob | bytes | str"]] = None,
+    resolve_base: Optional[Callable[[str], Image]] = None,
+) -> Image:
+    """One-shot convenience wrapper around :class:`DockerfileBuilder`."""
+    return DockerfileBuilder(
+        name, tag, context=context, resolve_base=resolve_base
+    ).build(text)

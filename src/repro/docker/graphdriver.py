@@ -1,0 +1,93 @@
+"""The Overlay2-style graph driver.
+
+"The graph driver is responsible for saving the image in the local storage
+and making image layers locally available for reuse … and for providing a
+complete and correct root file system for the container" (§II-C).  This
+driver keeps each layer's extracted ``diff/`` tree keyed by digest —
+shared across every image and container on the node, which is the
+layer-level local sharing Docker provides (and the level Gear improves on
+with file-level sharing).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.common.errors import NotFoundError
+from repro.common.hashing import Digest
+from repro.docker.image import Image, Layer
+from repro.vfs.overlay import OverlayMount
+from repro.vfs.tree import FileSystemTree
+
+
+class Overlay2Driver:
+    """Local layer storage plus union-mount construction."""
+
+    def __init__(self) -> None:
+        #: digest → (layer object, extracted read-only diff tree)
+        self._layers: Dict[Digest, Tuple[Layer, FileSystemTree]] = {}
+        self.mounts_created = 0
+
+    # -- layer store -------------------------------------------------------
+
+    def has_layer(self, digest: Digest) -> bool:
+        return digest in self._layers
+
+    def register_layer(self, layer: Layer) -> bool:
+        """Extract a layer into local storage; False when already present."""
+        if layer.digest in self._layers:
+            return False
+        diff = layer.diff_tree().freeze()
+        self._layers[layer.digest] = (layer, diff)
+        return True
+
+    def get_layer(self, digest: Digest) -> Layer:
+        try:
+            return self._layers[digest][0]
+        except KeyError:
+            raise NotFoundError(f"layer not in local storage: {digest.short()}") from None
+
+    def diff_tree(self, digest: Digest) -> FileSystemTree:
+        try:
+            return self._layers[digest][1]
+        except KeyError:
+            raise NotFoundError(f"layer not in local storage: {digest.short()}") from None
+
+    def remove_layer(self, digest: Digest) -> None:
+        if digest not in self._layers:
+            raise NotFoundError(f"layer not in local storage: {digest.short()}")
+        del self._layers[digest]
+
+    @property
+    def layer_count(self) -> int:
+        return len(self._layers)
+
+    @property
+    def stored_bytes(self) -> int:
+        """Local uncompressed layer bytes (layers are extracted on disk)."""
+        return sum(layer.uncompressed_size for layer, _ in self._layers.values())
+
+    def missing_layers(self, image: Image) -> List[Layer]:
+        """Layers of ``image`` not yet present locally, bottom-up order."""
+        return [layer for layer in image.layers if not self.has_layer(layer.digest)]
+
+    # -- mounts --------------------------------------------------------------
+
+    def mount(self, image: Image, upper: Optional[FileSystemTree] = None) -> OverlayMount:
+        """Union-mount an image's layers under a fresh writable layer.
+
+        Lowers are ordered top-most layer first, matching overlayfs's
+        ``lowerdir`` ordering (§II-C, Fig. 1b).
+        """
+        for layer in image.layers:
+            if not self.has_layer(layer.digest):
+                raise NotFoundError(
+                    f"cannot mount {image.reference!r}: layer "
+                    f"{layer.digest.short()} not local"
+                )
+        lowers = [self.diff_tree(layer.digest) for layer in reversed(image.layers)]
+        self.mounts_created += 1
+        return OverlayMount(lowers, upper)
+
+    def __repr__(self) -> str:
+        return f"Overlay2Driver(layers={self.layer_count})"

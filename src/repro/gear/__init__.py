@@ -1,0 +1,47 @@
+"""The Gear image format and framework (the paper's contribution).
+
+A **Gear image** is a :class:`~repro.gear.index.GearIndex` — the image's
+directory tree with every regular file replaced by an MD5 fingerprint
+entry — plus the set of :class:`~repro.gear.gearfile.GearFile` objects
+those fingerprints name (§III-B).  The index travels as a single-layer
+Docker image through the unmodified Docker path; Gear files live in a
+content-addressed :class:`~repro.gear.registry.GearRegistry` and are
+fetched on demand.
+
+Components, mirroring Fig. 3:
+
+* :class:`~repro.gear.converter.GearConverter` — builds Gear images from
+  Docker images, registry-side;
+* :class:`~repro.gear.registry.GearRegistry` — stores Gear files (query /
+  upload / download);
+* :class:`~repro.gear.driver.GearDriver` — client framework deploying Gear
+  containers over the three-level storage structure (§III-D1);
+* :class:`~repro.gear.viewer.GearFileViewer` — the Overlay2-based union
+  mount that faults regular files in through the shared cache or the
+  registry (§III-D2);
+* :class:`~repro.gear.pool.SharedFilePool` — the level-1 shared cache with
+  FIFO/LRU replacement.
+"""
+
+from repro.gear.converter import ConversionReport, GearConverter
+from repro.gear.driver import GearContainer, GearDeployReport, GearDriver
+from repro.gear.gearfile import GearFile
+from repro.gear.index import GearFileEntry, GearIndex
+from repro.gear.pool import EvictionPolicy, SharedFilePool
+from repro.gear.registry import GearRegistry
+from repro.gear.viewer import GearFileViewer
+
+__all__ = [
+    "ConversionReport",
+    "GearConverter",
+    "GearContainer",
+    "GearDeployReport",
+    "GearDriver",
+    "GearFile",
+    "GearFileEntry",
+    "GearIndex",
+    "EvictionPolicy",
+    "SharedFilePool",
+    "GearRegistry",
+    "GearFileViewer",
+]

@@ -1,0 +1,154 @@
+"""Chunk-granular lazy reads for big files (the paper's future work).
+
+§VII: "In the future, we plan to enable Gear to read big files on demand
+in chunks to better accelerate containers that need to download big
+files, such as AI containers with big models."
+
+:class:`ChunkedGearFileViewer` extends the Gear File Viewer with a
+``read_range`` path: files above ``big_file_threshold`` are fetched chunk
+by chunk, so a container that touches only part of a big file (a model
+header, an index page) downloads only those chunks.  Whole-file reads
+of big files still work — they fetch all chunks — and small files use the
+ordinary whole-file fault path untouched.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Set, Tuple
+
+from repro.blob import Blob
+from repro.blob.compressibility import chunk_compressed_size
+from repro.common.errors import GearError, NotFoundError
+from repro.common.units import MiB
+from repro.gear.gearfile import GearFile
+from repro.gear.index import STUB_XATTR
+from repro.gear.registry import GearRegistry
+from repro.gear.viewer import GearFileViewer
+from repro.vfs.inode import Inode
+
+
+@dataclass
+class ChunkFetchStats:
+    """Accounting for the chunk-granular path."""
+
+    range_reads: int = 0
+    chunks_fetched: int = 0
+    chunk_bytes_fetched: int = 0
+    whole_files_avoided: int = 0
+
+
+class _PartialFile:
+    """A big file being fetched chunk by chunk."""
+
+    __slots__ = ("blob", "present")
+
+    def __init__(self, blob: Blob) -> None:
+        self.blob = blob
+        self.present: Set[int] = set()
+
+    def is_complete(self) -> bool:
+        return len(self.present) == len(self.blob.chunks)
+
+
+class ChunkedGearFileViewer(GearFileViewer):
+    """A Gear File Viewer with partial-read support for big files."""
+
+    def __init__(self, *args, big_file_threshold: int = 4 * MiB, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        if big_file_threshold <= 0:
+            raise GearError("big_file_threshold must be positive")
+        self.big_file_threshold = big_file_threshold
+        self.chunk_stats = ChunkFetchStats()
+        self._partials: Dict[str, _PartialFile] = {}
+
+    # -- the partial-read path ------------------------------------------
+
+    def read_range(self, path: str, offset: int, length: int) -> int:
+        """Read ``length`` bytes at ``offset``; returns bytes now readable.
+
+        Small files (or already-materialized ones) take the normal fault
+        path.  Big stub files fetch only the chunks covering the range.
+        """
+        if offset < 0 or length < 0:
+            raise ValueError("offset and length must be non-negative")
+        node, resolved = self._resolve(path)
+        if not node.is_file:
+            raise GearError(f"{path!r} is not a regular file")
+        index_path = "/" + "/".join(resolved)
+        entry = self.index.entries.get(index_path)
+        is_stub = STUB_XATTR in node.meta.xattrs
+        if not is_stub or entry is None or entry.size < self.big_file_threshold:
+            blob = self.read_blob(path)
+            return min(length, max(0, blob.size - offset))
+
+        self.chunk_stats.range_reads += 1
+        partial = self._partials.get(entry.identity)
+        if partial is None:
+            blob = self._remote_blob(entry.identity)
+            partial = _PartialFile(blob)
+            self._partials[entry.identity] = partial
+            self.chunk_stats.whole_files_avoided += 1
+        self._fetch_span(entry.identity, partial, offset, length)
+        if partial.is_complete():
+            self._promote(index_path, entry.identity, partial)
+        return min(length, max(0, partial.blob.size - offset))
+
+    def _fetch_span(
+        self, identity: str, partial: _PartialFile, offset: int, length: int
+    ) -> None:
+        position = 0
+        end = offset + length
+        for chunk_index, chunk in enumerate(partial.blob.chunks):
+            chunk_start = position
+            position += chunk.size
+            if position <= offset or chunk_start >= end:
+                continue
+            if chunk_index in partial.present:
+                continue
+            if self.transport is None:
+                raise NotFoundError(
+                    f"chunk {chunk_index} of {identity!r} not cached and no "
+                    f"registry transport"
+                )
+            self.transport.call(
+                GearRegistry.ENDPOINT_NAME,
+                "download_chunk",
+                identity,
+                chunk_index,
+                label=f"gear-chunk:{identity[:10]}:{chunk_index}",
+            )
+            partial.present.add(chunk_index)
+            self.chunk_stats.chunks_fetched += 1
+            self.chunk_stats.chunk_bytes_fetched += chunk_compressed_size(chunk)
+            if self.disk is not None:
+                self.disk.write(chunk.size, label="chunk-store")
+
+    def _promote(self, index_path: str, identity: str, partial: _PartialFile) -> None:
+        """All chunks arrived: install the file like a whole-file fault."""
+        gear_file = GearFile(identity=identity, blob=partial.blob)
+        inode = self.pool.insert(gear_file)
+        self.index.tree.link_inode(index_path, inode, replace=True)
+        self.fault_stats.linked_bytes += inode.size
+        del self._partials[identity]
+
+    def _remote_blob(self, identity: str) -> Blob:
+        if self.transport is None:
+            raise NotFoundError(f"no registry transport for {identity!r}")
+        # Chunk map request: tiny metadata describing the blob's chunks.
+        blob = self.transport.call(
+            GearRegistry.ENDPOINT_NAME,
+            "chunk_map",
+            identity,
+            label=f"gear-chunkmap:{identity[:10]}",
+        )
+        return blob
+
+    def partial_resident_bytes(self, identity: str) -> int:
+        """Bytes of a partially-fetched big file currently resident."""
+        partial = self._partials.get(identity)
+        if partial is None:
+            return 0
+        return sum(
+            partial.blob.chunks[index].size for index in partial.present
+        )

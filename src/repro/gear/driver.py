@@ -1,0 +1,201 @@
+"""The Gear Driver: client-side deployment of Gear containers.
+
+Implements the three-level storage structure of §III-D1:
+
+* level 1 — a :class:`~repro.gear.pool.SharedFilePool` of Gear files
+  shared by every image on the node;
+* level 2 — live Gear index trees, one per deployed image;
+* level 3 — per-container writable "diff" trees.
+
+Deploying a container pulls only the (tiny) index image through the stock
+Docker daemon, instantiates the index at level 2, and mounts a
+:class:`~repro.gear.viewer.GearFileViewer` over it; Gear files arrive on
+demand during the run phase.  "It decouples life cycles of container
+instances, images, and Gear files": deleting a container drops only its
+level-3 diff; deleting an image drops its level-2 index while its files
+stay cached at level 1 for other images.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.common.clock import SimClock
+from repro.common.errors import GearError, NotFoundError
+from repro.docker.container import ContainerState
+from repro.docker.daemon import (
+    CONTAINER_DESTROY_BASE_S,
+    CONTAINER_START_COST_S,
+    INODE_TEARDOWN_COST_S,
+    DockerDaemon,
+)
+from repro.docker.image import Image
+from repro.gear.index import GearIndex, STUB_XATTR
+from repro.gear.pool import SharedFilePool
+from repro.gear.viewer import GearFileViewer
+from repro.net.transport import RpcTransport
+
+_gear_container_ids = itertools.count(1)
+
+
+@dataclass
+class GearDeployReport:
+    """Cost breakdown of one Gear container deployment."""
+
+    reference: str
+    pull_s: float = 0.0
+    index_bytes: int = 0
+    index_reused: bool = False
+
+
+class GearContainer:
+    """A container whose root filesystem is a Gear File Viewer mount."""
+
+    def __init__(self, index: GearIndex, viewer: GearFileViewer) -> None:
+        self.id = f"gctr-{next(_gear_container_ids):06d}"
+        self.index = index
+        self.mount = viewer
+        self.state = ContainerState.CREATED
+
+    @property
+    def config(self):
+        return self.index.config
+
+    @property
+    def rootfs(self) -> GearFileViewer:
+        return self.mount
+
+    def start(self) -> None:
+        if self.state not in (ContainerState.CREATED, ContainerState.STOPPED):
+            raise GearError(f"cannot start container in state {self.state.value}")
+        self.state = ContainerState.RUNNING
+
+    def stop(self) -> None:
+        if self.state is not ContainerState.RUNNING:
+            raise GearError(f"cannot stop container in state {self.state.value}")
+        self.state = ContainerState.STOPPED
+
+    def __repr__(self) -> str:
+        return f"GearContainer({self.id}, {self.index.reference!r}, {self.state.value})"
+
+
+class GearDriver:
+    """Deploys and manages Gear containers on one client node."""
+
+    def __init__(
+        self,
+        clock: SimClock,
+        daemon: DockerDaemon,
+        transport: RpcTransport,
+        *,
+        pool: Optional[SharedFilePool] = None,
+    ) -> None:
+        self.clock = clock
+        self.daemon = daemon
+        self.transport = transport
+        self.pool = pool if pool is not None else SharedFilePool()
+        #: Level 2: one live index per deployed image reference.
+        self._indexes: Dict[str, GearIndex] = {}
+        self._containers: Dict[str, GearContainer] = {}
+
+    # -- image-level operations ------------------------------------------
+
+    def pull_index(self, reference: str) -> GearDeployReport:
+        """Pull the index image and set up level 2 for it."""
+        report = GearDeployReport(reference=reference)
+        if reference in self._indexes:
+            report.index_reused = True
+            return report
+        timer = self.clock.timer()
+        pull = self.daemon.pull(reference)
+        image = self.daemon.get_image(reference)
+        if not image.gear_index:
+            raise GearError(
+                f"{reference!r} is a regular image; use the Docker daemon "
+                f"to deploy it, or convert it to a Gear image first"
+            )
+        index = GearIndex.from_image(image)
+        self._indexes[reference] = index
+        report.pull_s = timer.elapsed()
+        report.index_bytes = pull.bytes_downloaded
+        return report
+
+    def get_index(self, reference: str) -> GearIndex:
+        try:
+            return self._indexes[reference]
+        except KeyError:
+            raise NotFoundError(f"gear image not deployed: {reference!r}") from None
+
+    def remove_image(self, reference: str) -> None:
+        """Drop the level-2 index; cached files stay shareable at level 1.
+
+        Unlinks the index's materialized files so the pool sees their
+        ``nlink`` drop back — files "not linked to Gear indexes are
+        candidates for replacement".
+        """
+        index = self._indexes.pop(reference, None)
+        if index is None:
+            raise NotFoundError(f"gear image not deployed: {reference!r}")
+        for _, node in index.tree.iter_files():
+            if STUB_XATTR not in node.meta.xattrs:
+                node.nlink -= 1
+        if self.daemon.has_image(reference):
+            self.daemon.remove_image(reference)
+
+    def images(self) -> List[str]:
+        return sorted(self._indexes)
+
+    # -- container-level operations -----------------------------------------
+
+    def create_container(self, reference: str) -> GearContainer:
+        """Mount a viewer over the image's index and a fresh diff."""
+        index = self.get_index(reference)
+        viewer = GearFileViewer(
+            index, self.pool, transport=self.transport, disk=self.daemon.disk
+        )
+        container = GearContainer(index, viewer)
+        self._containers[container.id] = container
+        return container
+
+    def start_container(self, container: GearContainer) -> None:
+        self.clock.advance(CONTAINER_START_COST_S, f"start:{container.id}")
+        container.start()
+
+    def deploy(self, reference: str) -> "tuple[GearContainer, GearDeployReport]":
+        """The full §III-D flow: pull index, mount, start.
+
+        Gear files are *not* fetched here — that is the whole point; they
+        fault in lazily as the workload touches them.
+        """
+        report = self.pull_index(reference)
+        container = self.create_container(reference)
+        self.start_container(container)
+        return container, report
+
+    def destroy_container(self, container: GearContainer) -> float:
+        """Stop and remove a container: only its level-3 diff dies.
+
+        Teardown cost scales with *touched* inodes only — Gear "only
+        needs to destroy the inode caches of required files" (§V-F).
+        """
+        if container.state is ContainerState.RUNNING:
+            container.stop()
+        teardown = (
+            CONTAINER_DESTROY_BASE_S
+            + container.mount.stats.inodes_touched * INODE_TEARDOWN_COST_S
+        )
+        self.clock.advance(teardown, f"destroy:{container.id}")
+        container.state = ContainerState.DELETED
+        self._containers.pop(container.id, None)
+        return teardown
+
+    def containers(self) -> List[GearContainer]:
+        return list(self._containers.values())
+
+    def __repr__(self) -> str:
+        return (
+            f"GearDriver(images={len(self._indexes)}, "
+            f"containers={len(self._containers)}, pool={self.pool!r})"
+        )

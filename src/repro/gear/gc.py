@@ -1,0 +1,81 @@
+"""Registry-side garbage collection of Gear files.
+
+The Gear design decouples file and image life cycles: deleting an image
+leaves its Gear files in the storage pool because other indexes may
+reference them (§III-D1), and "the original Docker image can be removed
+if the managers want to save storage space" (§IV).  Eventually the
+registry accumulates files no surviving index references; this module
+implements the mark-and-sweep a registry operator runs to reclaim them.
+
+Mark: parse every Gear-index manifest in the Docker registry and collect
+the identities its entries reference.  Sweep: delete unreferenced files
+from the Gear registry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Set
+
+from repro.docker.image import Image
+from repro.docker.registry import DockerRegistry
+from repro.gear.index import GearIndex
+from repro.gear.registry import GearRegistry
+
+
+@dataclass
+class GcReport:
+    """What one collection pass found and freed."""
+
+    indexes_scanned: int = 0
+    live_files: int = 0
+    deleted_files: int = 0
+    deleted_bytes: int = 0
+    deleted_identities: List[str] = field(default_factory=list)
+
+
+def live_identities(docker_registry: DockerRegistry) -> Set[str]:
+    """Mark phase: every identity referenced by any published index."""
+    live: Set[str] = set()
+    for reference in docker_registry.references():
+        manifest = docker_registry.get_manifest(reference)
+        if not manifest.gear_index:
+            continue
+        layer = docker_registry.get_layer(manifest.layer_digests[0])
+        index = GearIndex.from_image(
+            Image(manifest.name, manifest.tag, [layer], manifest.config,
+                  gear_index=True)
+        )
+        live.update(index.identities())
+    return live
+
+
+def collect_garbage(
+    docker_registry: DockerRegistry,
+    gear_registry: GearRegistry,
+    *,
+    dry_run: bool = False,
+) -> GcReport:
+    """Mark-and-sweep unreferenced Gear files.
+
+    With ``dry_run`` the report is produced but nothing is deleted —
+    operators preview reclaimable space before committing.
+    """
+    report = GcReport()
+    live = live_identities(docker_registry)
+    report.indexes_scanned = sum(
+        1
+        for reference in docker_registry.references()
+        if docker_registry.get_manifest(reference).gear_index
+    )
+    report.live_files = len(live)
+    for identity in list(gear_registry.identities()):
+        if identity in live:
+            continue
+        gear_file = gear_registry.download(identity)
+        report.deleted_files += 1
+        report.deleted_bytes += gear_file.compressed_size
+        report.deleted_identities.append(identity)
+        if not dry_run:
+            gear_registry.delete(identity)
+    return report

@@ -1,0 +1,39 @@
+"""Gear files: content-addressed regular files."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.blob import Blob
+from repro.blob.compressibility import blob_compressed_size
+
+
+@dataclass(frozen=True)
+class GearFile:
+    """One regular file extracted from an image, named by its fingerprint.
+
+    "These regular files are converted to Gear files by naming (or
+    identifying) them by the fingerprints of the corresponding regular
+    files" (§III-B).  ``identity`` is the MD5 fingerprint, or a unique ID
+    when collision handling disabled dedup for this file.
+    """
+
+    identity: str
+    blob: Blob
+
+    @classmethod
+    def from_blob(cls, blob: Blob) -> "GearFile":
+        return cls(identity=blob.fingerprint, blob=blob)
+
+    @property
+    def size(self) -> int:
+        return self.blob.size
+
+    @property
+    def compressed_size(self) -> int:
+        """Stored size in the registry ("Gear files can be further
+        compressed for higher space efficiency", §III-C)."""
+        return blob_compressed_size(self.blob)
+
+    def __repr__(self) -> str:
+        return f"GearFile({self.identity[:12]}, {self.size}B)"

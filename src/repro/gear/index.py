@@ -1,0 +1,227 @@
+"""The Gear index.
+
+"The Gear index is made up of metadata that contains the structure of the
+entire directory tree and metadata of regular files which replace the
+actual files in directories" (§III-B).  Concretely, the index is a
+filesystem tree in which every regular file is replaced by a tiny *stub
+file* whose content encodes the original file's fingerprint and size —
+"In place of the index where an entry for a regular file should be
+stored, we record the file's MD5 hash value."
+
+Because the stub encoding lives in ordinary file content, the index
+round-trips losslessly through the stock Docker machinery as a
+single-layer image (§III-C), which is the compatibility claim of the
+paper.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.blob import Blob
+from repro.common.errors import GearError
+from repro.common.hashing import Digest, sha256_tokens
+from repro.docker.image import Image, ImageConfig
+from repro.vfs.inode import FileKind, Inode, Metadata
+from repro.vfs.tree import FileSystemTree
+
+#: Stub files start with this magic so a viewer (and the parser) can tell
+#: fingerprint entries from genuine small files.
+STUB_MAGIC = "gearfp:"
+
+#: Extended attribute marking a stub inode in a live index tree.
+STUB_XATTR = "gear.stub"
+
+
+@dataclass(frozen=True)
+class GearFileEntry:
+    """Metadata the index keeps for one regular file."""
+
+    path: str
+    identity: str
+    size: int
+    mode: int
+
+    def stub_content(self) -> str:
+        return f"{STUB_MAGIC}{self.identity}:{self.size}\n"
+
+    @classmethod
+    def parse_stub(cls, path: str, content: str, mode: int) -> "GearFileEntry":
+        if not content.startswith(STUB_MAGIC):
+            raise GearError(f"not a Gear stub at {path!r}")
+        body = content[len(STUB_MAGIC) :].strip()
+        identity, _, size_text = body.rpartition(":")
+        if not identity or not size_text.isdigit():
+            raise GearError(f"malformed Gear stub at {path!r}: {content!r}")
+        return cls(path=path, identity=identity, size=int(size_text), mode=mode)
+
+
+class GearIndex:
+    """A Gear image's index component."""
+
+    def __init__(
+        self,
+        name: str,
+        tag: str,
+        tree: FileSystemTree,
+        entries: Dict[str, GearFileEntry],
+        config: Optional[ImageConfig] = None,
+    ) -> None:
+        self.name = name
+        self.tag = tag
+        #: The stub tree: directories and symlinks verbatim, regular files
+        #: replaced by stub files.  Live deployments mutate it (stub →
+        #: hard link to the cached Gear file), so it stays writable.
+        self.tree = tree
+        self.entries = entries
+        self.config = config if config is not None else ImageConfig.make()
+
+    @property
+    def reference(self) -> str:
+        return f"{self.name}:{self.tag}"
+
+    # -- construction -----------------------------------------------------
+
+    @classmethod
+    def from_tree(
+        cls,
+        name: str,
+        tag: str,
+        root: FileSystemTree,
+        *,
+        config: Optional[ImageConfig] = None,
+        identity_for: Optional[Dict[int, str]] = None,
+    ) -> "GearIndex":
+        """Build an index from a flattened image root filesystem.
+
+        ``identity_for`` optionally maps inode number → identity for files
+        whose fingerprints were replaced by unique IDs (collision
+        handling); everything else uses the blob fingerprint.
+        """
+        tree = FileSystemTree()
+        entries: Dict[str, GearFileEntry] = {}
+        for path, node in root.walk("/"):
+            if node.is_dir:
+                created = tree.mkdir(path, parents=True, exist_ok=True)
+                created.meta = node.meta.copy()
+                created.opaque = node.opaque
+            elif node.is_symlink:
+                assert node.symlink_target is not None
+                tree.symlink(path, node.symlink_target, meta=node.meta.copy())
+            elif node.is_file:
+                assert node.blob is not None
+                identity = (identity_for or {}).get(
+                    node.ino, node.blob.fingerprint
+                )
+                entry = GearFileEntry(
+                    path=path,
+                    identity=identity,
+                    size=node.blob.size,
+                    mode=node.meta.mode,
+                )
+                entries[path] = entry
+                meta = node.meta.copy()
+                meta.xattrs[STUB_XATTR] = "1"
+                tree.write_file(
+                    path, Blob.from_text(entry.stub_content()), meta=meta,
+                    parents=True,
+                )
+        return cls(name, tag, tree, entries, config)
+
+    @classmethod
+    def from_image(cls, image: Image) -> "GearIndex":
+        """Parse an index back out of its single-layer Docker image."""
+        if not image.gear_index:
+            raise GearError(f"{image.reference!r} is not a Gear index image")
+        if len(image.layers) != 1:
+            raise GearError(
+                f"Gear index image {image.reference!r} must have exactly one "
+                f"layer, found {len(image.layers)}"
+            )
+        root = image.layers[0].archive.extract()
+        tree = FileSystemTree()
+        entries: Dict[str, GearFileEntry] = {}
+        for path, node in root.walk("/"):
+            if node.is_dir:
+                created = tree.mkdir(path, parents=True, exist_ok=True)
+                created.meta = node.meta.copy()
+            elif node.is_symlink:
+                assert node.symlink_target is not None
+                tree.symlink(path, node.symlink_target, meta=node.meta.copy())
+            elif node.is_file:
+                assert node.blob is not None
+                text = node.blob.materialize().decode("utf-8", errors="replace")
+                entry = GearFileEntry.parse_stub(path, text, node.meta.mode)
+                entries[path] = entry
+                meta = node.meta.copy()
+                meta.xattrs[STUB_XATTR] = "1"
+                tree.write_file(path, node.blob, meta=meta, parents=True)
+        return cls(image.name, image.tag, tree, entries, image.config)
+
+    # -- packaging ------------------------------------------------------------
+
+    def to_image(self) -> Image:
+        """Package as a single-layer Docker image (§III-C).
+
+        Live index trees may contain *materialized* entries (stubs the
+        viewer replaced with hard links to cached Gear files); a published
+        index must carry stubs only, so those are re-encoded here.
+        """
+        from repro.docker.builder import image_from_tree
+
+        return image_from_tree(
+            self.name, self.tag, self.stub_tree(), config=self.config,
+            gear_index=True,
+        )
+
+    def stub_tree(self) -> FileSystemTree:
+        """A copy of the index tree with every entry as a pristine stub."""
+        tree = self.tree.clone()
+        for path, entry in self.entries.items():
+            node = tree.stat(path, follow_symlinks=False)
+            if STUB_XATTR in node.meta.xattrs:
+                continue
+            meta = node.meta.copy()
+            meta.xattrs[STUB_XATTR] = "1"
+            tree.write_file(path, Blob.from_text(entry.stub_content()), meta=meta)
+        return tree
+
+    # -- queries ----------------------------------------------------------------
+
+    @property
+    def file_count(self) -> int:
+        return len(self.entries)
+
+    @property
+    def represented_bytes(self) -> int:
+        """Total size of the regular files the index points to."""
+        return sum(entry.size for entry in self.entries.values())
+
+    @property
+    def index_bytes(self) -> int:
+        """Serialized size of the index itself (it should be tiny —
+        "usually less than 1 MB", §I)."""
+        return self.to_image().layers[0].uncompressed_size
+
+    def identities(self) -> Iterator[str]:
+        """Distinct Gear file identities this index references."""
+        seen = set()
+        for entry in self.entries.values():
+            if entry.identity not in seen:
+                seen.add(entry.identity)
+                yield entry.identity
+
+    def digest(self) -> Digest:
+        """Identity of the index content (used in tests for round-trips)."""
+        tokens: List[str] = []
+        for path in sorted(self.entries):
+            entry = self.entries[path]
+            tokens.append(f"{path}|{entry.identity}|{entry.size}|{entry.mode:o}")
+        return sha256_tokens(tokens)
+
+    def __repr__(self) -> str:
+        return (
+            f"GearIndex({self.reference!r}, files={self.file_count}, "
+            f"bytes={self.represented_bytes})"
+        )

@@ -1,0 +1,164 @@
+"""The level-1 shared file cache.
+
+§III-D1: "The first level is a shared cache of Gear files that belong to
+different Gear images at a deployment client.  Files are deduplicated
+based on their fingerprints of their contents. … users can decide how
+much storage it can occupy and can apply replacement algorithms on it,
+such as FIFO or LRU.  Files that are not linked to Gear indexes are
+candidates for replacement."
+
+The pool stores real file *inodes*; the Gear File Viewer hard-links them
+into index trees, so an inode's ``nlink`` tells the pool whether any
+index still references it (nlink 1 = pool only = evictable).
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict
+from typing import Dict, Iterator, Optional
+
+from repro.common.errors import StorageError
+from repro.gear.gearfile import GearFile
+from repro.vfs.inode import FileKind, Inode, Metadata
+
+
+class EvictionPolicy(enum.Enum):
+    """Replacement policies §III-D1 suggests for the shared cache."""
+
+    FIFO = "fifo"
+    LRU = "lru"
+
+
+class SharedFilePool:
+    """A capacity-bounded, content-addressed cache of Gear file inodes."""
+
+    def __init__(
+        self,
+        *,
+        capacity_bytes: Optional[int] = None,
+        policy: EvictionPolicy = EvictionPolicy.LRU,
+    ) -> None:
+        if capacity_bytes is not None and capacity_bytes < 0:
+            raise StorageError("capacity must be non-negative")
+        self.capacity_bytes = capacity_bytes
+        self.policy = policy
+        #: identity → inode, in insertion/recency order.
+        self._inodes: "OrderedDict[str, Inode]" = OrderedDict()
+        self._bytes = 0
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.eviction_failures = 0
+
+    # -- lookup ------------------------------------------------------------
+
+    def get(self, identity: str) -> Optional[Inode]:
+        """Return the cached inode, updating recency; None on miss."""
+        inode = self._inodes.get(identity)
+        if inode is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        if self.policy is EvictionPolicy.LRU:
+            self._inodes.move_to_end(identity)
+        return inode
+
+    def contains(self, identity: str) -> bool:
+        """Existence check without hit/miss or recency side effects."""
+        return identity in self._inodes
+
+    # -- insertion -----------------------------------------------------------
+
+    def insert(self, gear_file: GearFile) -> Inode:
+        """Add a fetched Gear file to the pool, evicting if needed.
+
+        Returns the pool's inode (existing one when the identity is
+        already cached — content-addressing never stores two copies).
+        """
+        existing = self._inodes.get(identity := gear_file.identity)
+        if existing is not None:
+            if self.policy is EvictionPolicy.LRU:
+                self._inodes.move_to_end(identity)
+            return existing
+        inode = Inode(
+            FileKind.FILE,
+            meta=Metadata(mode=0o644),
+            blob=gear_file.blob,
+        )
+        self._make_room(gear_file.size)
+        self._inodes[identity] = inode
+        self._bytes += gear_file.size
+        return inode
+
+    def _make_room(self, incoming: int) -> None:
+        if self.capacity_bytes is None:
+            return
+        while self._bytes + incoming > self.capacity_bytes:
+            victim = self._pick_victim()
+            if victim is None:
+                # Everything is pinned by index links; exceed capacity
+                # rather than corrupt live images.
+                self.eviction_failures += 1
+                return
+            self._evict(victim)
+
+    def _pick_victim(self) -> Optional[str]:
+        """Oldest unpinned entry (nlink 1 means only the pool holds it)."""
+        for identity, inode in self._inodes.items():
+            if inode.nlink <= 1:
+                return identity
+        return None
+
+    def _evict(self, identity: str) -> None:
+        inode = self._inodes.pop(identity)
+        self._bytes -= inode.size
+        self.evictions += 1
+
+    # -- management ------------------------------------------------------------
+
+    def drop(self, identity: str) -> None:
+        """Forcibly remove an entry (tests and cache-clearing scenarios)."""
+        if identity in self._inodes:
+            self._evict(identity)
+            self.evictions -= 1  # administrative removal, not pressure
+
+    def clear(self) -> None:
+        """Empty the cache (the paper's no-local-cache scenario, §V-D)."""
+        self._inodes.clear()
+        self._bytes = 0
+
+    def reset_stats(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.eviction_failures = 0
+
+    @property
+    def used_bytes(self) -> int:
+        return self._bytes
+
+    @property
+    def file_count(self) -> int:
+        return len(self._inodes)
+
+    def identities(self) -> Iterator[str]:
+        return iter(self._inodes.keys())
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def __contains__(self, identity: str) -> bool:
+        return identity in self._inodes
+
+    def __len__(self) -> int:
+        return len(self._inodes)
+
+    def __repr__(self) -> str:
+        cap = self.capacity_bytes if self.capacity_bytes is not None else "∞"
+        return (
+            f"SharedFilePool(files={len(self._inodes)}, bytes={self._bytes}, "
+            f"capacity={cap}, policy={self.policy.value})"
+        )

@@ -1,0 +1,144 @@
+"""The Gear Registry: a content-addressed file server.
+
+"Gear Registry runs a file server to store Gear files.  A Gear file can
+be found through its name (i.e., the fingerprint of the corresponding
+file)" (§III-C).  Three interfaces, as in §IV: query, upload, download.
+Deployed "on the same node" as the Docker registry; the reproduction
+mirrors that by binding both endpoints on the same transport.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.common.errors import NotFoundError
+from repro.gear.gearfile import GearFile
+from repro.net.transport import RpcEndpoint
+from repro.storage.objectstore import ObjectStore
+
+
+class GearRegistry:
+    """Stores Gear files, deduplicated by identity."""
+
+    ENDPOINT_NAME = "gear-registry"
+
+    def __init__(self, *, compress: bool = True) -> None:
+        self._store = ObjectStore(name="gear-files")
+        self._compress = compress
+
+    # -- the three verbs -------------------------------------------------
+
+    def query(self, identity: str) -> bool:
+        """Does the registry already hold this Gear file?"""
+        return self._store.query(identity)
+
+    def upload(self, gear_file: GearFile) -> bool:
+        """Store a Gear file; duplicate identities are deduplicated."""
+        stored_size = (
+            gear_file.compressed_size if self._compress else gear_file.size
+        )
+        return self._store.upload(
+            gear_file.identity,
+            gear_file,
+            size=gear_file.size,
+            stored_size=stored_size,
+        )
+
+    def download(self, identity: str) -> GearFile:
+        try:
+            _, payload = self._store.download(identity)
+        except NotFoundError:
+            raise NotFoundError(f"gear file not found: {identity!r}") from None
+        assert isinstance(payload, GearFile)
+        return payload
+
+    # -- bulk helpers ------------------------------------------------------
+
+    def upload_many(self, gear_files: Iterable[GearFile]) -> Tuple[int, int]:
+        """Upload files; returns ``(stored, deduplicated)``."""
+        stored = 0
+        deduped = 0
+        for gear_file in gear_files:
+            if self.upload(gear_file):
+                stored += 1
+            else:
+                deduped += 1
+        return stored, deduped
+
+    def missing(self, identities: Iterable[str]) -> List[str]:
+        """Identities not present (client-side push planning, §III-C)."""
+        return [identity for identity in identities if not self.query(identity)]
+
+    def delete(self, identity: str) -> None:
+        """Remove a Gear file (used by registry garbage collection)."""
+        self._store.delete(identity)
+
+    # -- accounting ---------------------------------------------------------
+
+    @property
+    def file_count(self) -> int:
+        return self._store.object_count
+
+    @property
+    def stored_bytes(self) -> int:
+        """On-disk footprint (compressed when compression is on)."""
+        return self._store.total_stored_size
+
+    @property
+    def logical_bytes(self) -> int:
+        return self._store.total_size
+
+    def identities(self) -> Iterator[str]:
+        return self._store.keys()
+
+    # -- RPC surface ------------------------------------------------------------
+
+    def endpoint(self) -> RpcEndpoint:
+        """Bind query/upload/download over the transport.
+
+        Downloads cost the stored (compressed) size on the wire; queries
+        cost a small fixed response; upload payload bytes are charged on
+        the request side by the transport.
+        """
+        endpoint = RpcEndpoint(self.ENDPOINT_NAME)
+        endpoint.register("query", lambda identity: (self.query(identity), 16))
+        endpoint.register(
+            "upload", lambda gear_file: (self.upload(gear_file), 16)
+        )
+
+        def _download(identity: str):
+            gear_file = self.download(identity)
+            wire = gear_file.compressed_size if self._compress else gear_file.size
+            return gear_file, wire
+
+        endpoint.register("download", _download)
+
+        def _chunk_map(identity: str):
+            # The chunk layout of a Gear file: tiny metadata (an offset
+            # table), used by the big-file partial-read extension.
+            gear_file = self.download(identity)
+            return gear_file.blob, 64 + 16 * len(gear_file.blob.chunks)
+
+        endpoint.register("chunk_map", _chunk_map)
+
+        def _download_chunk(identity: str, chunk_index: int):
+            from repro.blob.compressibility import chunk_compressed_size
+
+            gear_file = self.download(identity)
+            chunks = gear_file.blob.chunks
+            if not 0 <= chunk_index < len(chunks):
+                raise NotFoundError(
+                    f"chunk {chunk_index} out of range for {identity!r}"
+                )
+            chunk = chunks[chunk_index]
+            wire = chunk_compressed_size(chunk) if self._compress else chunk.size
+            return chunk, wire
+
+        endpoint.register("download_chunk", _download_chunk)
+        return endpoint
+
+    def __repr__(self) -> str:
+        return (
+            f"GearRegistry(files={self.file_count}, "
+            f"stored={self.stored_bytes})"
+        )

@@ -1,0 +1,162 @@
+"""The Gear File Viewer.
+
+"We develop Gear File Viewer based on Overlay2 to provide the root file
+system views for containers" (§III-D2).  The viewer union-mounts the
+read-only index (level 2) under a writable diff (level 3).  Irregular
+files — directories, symlinks — are served straight from the index.  A
+read of a regular file whose index entry is still a fingerprint stub
+triggers a *fault*:
+
+1. look the fingerprint up in the shared cache (level 1); on a hit, the
+   cached file is hard-linked into the index and the stub is gone, so
+   subsequent reads "can serve the following requests for the same file
+   from the index without searching the first layer again";
+2. on a miss, download the Gear file from the Gear Registry (paying
+   simulated network costs), insert it into the cache, and link it.
+
+This mirrors the prototype's modified ``ovl_lookup_single()`` that pauses
+on a fingerprint file and asks a user-mode helper to make the target
+readable (§IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+from repro.common.errors import GearError, IntegrityError, NotFoundError
+from repro.docker.daemon import DECOMPRESS_BPS
+from repro.gear.gearfile import GearFile
+from repro.gear.index import GearIndex, STUB_XATTR
+from repro.gear.pool import SharedFilePool
+from repro.gear.registry import GearRegistry
+from repro.net.transport import RpcTransport
+from repro.storage.disk import Disk
+from repro.vfs.inode import Inode
+from repro.vfs.overlay import OverlayMount
+from repro.vfs.tree import FileSystemTree
+
+
+@dataclass
+class FaultStats:
+    """What lazy retrieval did for one mount."""
+
+    faults: int = 0
+    cache_hits: int = 0
+    remote_fetches: int = 0
+    remote_bytes: int = 0
+    linked_bytes: int = 0
+
+    @property
+    def total_faulted_bytes(self) -> int:
+        return self.linked_bytes
+
+
+class GearFileViewer(OverlayMount):
+    """An overlay mount whose lower layer is a Gear index."""
+
+    def __init__(
+        self,
+        index: GearIndex,
+        pool: SharedFilePool,
+        *,
+        transport: Optional[RpcTransport] = None,
+        upper: Optional[FileSystemTree] = None,
+        disk: Optional[Disk] = None,
+    ) -> None:
+        super().__init__([index.tree], upper)
+        self.index = index
+        self.pool = pool
+        self.transport = transport
+        self.disk = disk
+        self.fault_stats = FaultStats()
+
+    # -- the fault path ----------------------------------------------------
+
+    def _materialize(self, node: Inode, resolved: Sequence[str]) -> Inode:
+        if STUB_XATTR not in node.meta.xattrs:
+            return node
+        path = "/" + "/".join(resolved)
+        entry = self.index.entries.get(path)
+        if entry is None:
+            raise GearError(f"stub at {path!r} has no index entry")
+        self.fault_stats.faults += 1
+        inode = self.pool.get(entry.identity)
+        if inode is not None:
+            self.fault_stats.cache_hits += 1
+        else:
+            gear_file = self._fetch_remote(entry.identity)
+            inode = self.pool.insert(gear_file)
+            self.fault_stats.remote_fetches += 1
+            self.fault_stats.remote_bytes += gear_file.compressed_size
+            # Gear files travel compressed (§III-C): decompress, then
+            # store into the level-1 cache.
+            if self.disk is not None:
+                self.disk.clock.advance(
+                    gear_file.size / DECOMPRESS_BPS, "gear-gunzip"
+                )
+                self.disk.write(gear_file.size, file_ops=1, label="pool-store")
+        # Hard-link the real file over the stub so the index serves it
+        # directly from now on.
+        inode.meta.mode = entry.mode
+        self.index.tree.link_inode(path, inode, replace=True)
+        if self.disk is not None:
+            self.disk.metadata_op(1, label="index-link")
+        self.fault_stats.linked_bytes += inode.size
+        return inode
+
+    def _fetch_remote(self, identity: str) -> GearFile:
+        if self.transport is None:
+            raise NotFoundError(
+                f"gear file {identity!r} not cached and no registry transport"
+            )
+        gear_file = self.transport.call(
+            GearRegistry.ENDPOINT_NAME,
+            "download",
+            identity,
+            label=f"gear-fetch:{identity[:12]}",
+        )
+        # Content addressing doubles as an integrity check: a fetched
+        # file must hash to the name it was requested by.  Unique IDs
+        # (collision-handled files, "uid-…") opted out of fingerprint
+        # naming and are exempt (§III-B).
+        if not identity.startswith("uid-") and (
+            gear_file.blob.fingerprint != identity
+        ):
+            raise IntegrityError(
+                f"gear file {identity!r} failed verification: content "
+                f"hashes to {gear_file.blob.fingerprint!r}"
+            )
+        return gear_file
+
+    # -- helpers --------------------------------------------------------------
+
+    def file_size(self, path: str) -> int:
+        """Size of the regular file at ``path`` without faulting it in.
+
+        Stat-like operations must not trigger downloads; the index holds
+        the true size in its entry metadata.
+        """
+        node, resolved = self._resolve(path)
+        if STUB_XATTR in node.meta.xattrs:
+            entry = self.index.entries.get("/" + "/".join(resolved))
+            if entry is not None:
+                return entry.size
+        return node.size
+
+    def prefetch(self, path: str) -> None:
+        """Fault a file in without reading it (warm-up helper)."""
+        node, resolved = self._resolve(path)
+        if node.is_file:
+            self._materialize(node, resolved)
+
+    def resident_bytes(self) -> int:
+        """Bytes of index files already materialized (non-stub)."""
+        total = 0
+        for file_path, node in self.index.tree.iter_files():
+            if STUB_XATTR not in node.meta.xattrs:
+                total += node.size
+        return total
+
+    def __repr__(self) -> str:
+        return f"GearFileViewer({self.index.reference!r})"

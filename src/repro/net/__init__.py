@@ -1,0 +1,13 @@
+"""Simulated networking.
+
+The paper's evaluation sweeps link bandwidth (904 / 100 / 20 / 5 Mbps,
+§V-E) and attributes Slacker's collapse at low bandwidth to per-object
+request overhead (many blocks vs few files, §V-E2).  The simulator models
+exactly those effects: each transfer pays a round-trip plus payload bytes
+divided by bandwidth, on the shared virtual clock.
+"""
+
+from repro.net.link import Link, TransferLog
+from repro.net.transport import RpcEndpoint, RpcTransport
+
+__all__ = ["Link", "TransferLog", "RpcEndpoint", "RpcTransport"]

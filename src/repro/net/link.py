@@ -1,0 +1,133 @@
+"""Bandwidth/latency link model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.common.clock import SimClock
+from repro.common.units import Mbps, mbps_to_bytes_per_s
+
+
+@dataclass
+class TransferRecord:
+    """One completed transfer over a link."""
+
+    start: float
+    duration: float
+    payload_bytes: int
+    label: str
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+
+@dataclass
+class TransferLog:
+    """Accumulated traffic accounting for an experiment."""
+
+    records: List[TransferRecord] = field(default_factory=list)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(record.payload_bytes for record in self.records)
+
+    @property
+    def total_requests(self) -> int:
+        return len(self.records)
+
+    @property
+    def total_time(self) -> float:
+        return sum(record.duration for record in self.records)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+
+class Link:
+    """A duplex point-to-point link with bandwidth and per-request cost.
+
+    ``transfer`` advances the shared clock by::
+
+        rtt + request_overhead + payload / bandwidth
+
+    * ``rtt`` models connection/request latency (paper testbed: a LAN, so
+      sub-millisecond; WAN experiments would raise it);
+    * ``request_overhead`` models fixed protocol work per object fetched —
+      HTTP framing, registry auth, object-store lookup.  It is the term
+      that punishes block-granular lazy pulls (Slacker) relative to
+      file-granular ones (Gear);
+    * payload time scales inversely with the configured bandwidth.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        *,
+        bandwidth_mbps: float = 904.0,
+        rtt_s: float = 0.0005,
+        request_overhead_s: float = 0.0015,
+    ) -> None:
+        if bandwidth_mbps <= 0:
+            raise ValueError(f"bandwidth must be positive, got {bandwidth_mbps}")
+        if rtt_s < 0 or request_overhead_s < 0:
+            raise ValueError("latencies must be non-negative")
+        self.clock = clock
+        self.bandwidth_mbps = bandwidth_mbps
+        self.rtt_s = rtt_s
+        self.request_overhead_s = request_overhead_s
+        self.log = TransferLog()
+
+    @property
+    def bytes_per_second(self) -> float:
+        return mbps_to_bytes_per_s(self.bandwidth_mbps)
+
+    def transfer_time(self, payload_bytes: int) -> float:
+        """Time one transfer of ``payload_bytes`` would take (no clock)."""
+        if payload_bytes < 0:
+            raise ValueError(f"payload must be non-negative, got {payload_bytes}")
+        return (
+            self.rtt_s
+            + self.request_overhead_s
+            + payload_bytes / self.bytes_per_second
+        )
+
+    def transfer(self, payload_bytes: int, label: str = "") -> float:
+        """Perform a transfer: advance the clock, log it, return duration."""
+        duration = self.transfer_time(payload_bytes)
+        start = self.clock.now
+        self.clock.advance(duration, label or f"transfer:{payload_bytes}B")
+        self.log.records.append(
+            TransferRecord(
+                start=start,
+                duration=duration,
+                payload_bytes=payload_bytes,
+                label=label,
+            )
+        )
+        return duration
+
+    def request(self, label: str = "") -> float:
+        """A zero-payload control request (e.g. existence query)."""
+        return self.transfer(0, label or "request")
+
+    def with_bandwidth(self, bandwidth_mbps: float) -> "Link":
+        """A new link on the same clock with a different bandwidth."""
+        return Link(
+            self.clock,
+            bandwidth_mbps=bandwidth_mbps,
+            rtt_s=self.rtt_s,
+            request_overhead_s=self.request_overhead_s,
+        )
+
+    def __repr__(self) -> str:
+        return (
+            f"Link({self.bandwidth_mbps:g} Mbps, rtt={self.rtt_s * 1e3:.2f} ms, "
+            f"overhead={self.request_overhead_s * 1e3:.2f} ms)"
+        )
+
+
+def lan_link(clock: SimClock, bandwidth_mbps: float = 904.0) -> Link:
+    """The paper's testbed link: two servers on a measured 904 Mbps LAN."""
+    return Link(clock, bandwidth_mbps=bandwidth_mbps)

@@ -1,0 +1,106 @@
+"""A minimal request/response RPC layer over simulated links.
+
+All Gear components "communicate with each other via HTTP" (§IV).  The
+reproduction's equivalent is :class:`RpcTransport`: named endpoints
+register handlers; calls pay link costs for the request and the response
+payload, then execute the handler synchronously.  This keeps the system
+architecture honest (registries are *services*, not in-process objects the
+client pokes at) while remaining deterministic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.common.errors import TransportError
+from repro.net.link import Link
+
+Handler = Callable[..., Tuple[Any, int]]
+"""An RPC handler returns ``(result, response_payload_bytes)``."""
+
+
+@dataclass
+class RpcStats:
+    """Per-endpoint call accounting."""
+
+    calls: int = 0
+    request_bytes: int = 0
+    response_bytes: int = 0
+
+
+class RpcEndpoint:
+    """A named service exposing methods over a link."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self._methods: Dict[str, Handler] = {}
+        self.stats = RpcStats()
+
+    def register(self, method: str, handler: Handler) -> None:
+        """Expose ``handler`` as ``method`` (overwriting is an error)."""
+        if method in self._methods:
+            raise TransportError(
+                f"method {method!r} already registered on {self.name!r}"
+            )
+        self._methods[method] = handler
+
+    def handle(self, method: str, *args: Any, **kwargs: Any) -> Tuple[Any, int]:
+        handler = self._methods.get(method)
+        if handler is None:
+            raise TransportError(f"{self.name!r} has no method {method!r}")
+        return handler(*args, **kwargs)
+
+    def methods(self) -> Tuple[str, ...]:
+        return tuple(sorted(self._methods))
+
+
+class RpcTransport:
+    """Routes calls from a client to named endpoints over a link."""
+
+    #: Approximate bytes of request framing (method name, small args).
+    REQUEST_FRAME_BYTES = 256
+
+    def __init__(self, link: Link) -> None:
+        self.link = link
+        self._endpoints: Dict[str, RpcEndpoint] = {}
+
+    def bind(self, endpoint: RpcEndpoint) -> RpcEndpoint:
+        if endpoint.name in self._endpoints:
+            raise TransportError(f"endpoint {endpoint.name!r} already bound")
+        self._endpoints[endpoint.name] = endpoint
+        return endpoint
+
+    def endpoint(self, name: str) -> RpcEndpoint:
+        endpoint = self._endpoints.get(name)
+        if endpoint is None:
+            raise TransportError(f"no endpoint named {name!r}")
+        return endpoint
+
+    def call(
+        self,
+        endpoint_name: str,
+        method: str,
+        *args: Any,
+        request_payload_bytes: int = 0,
+        label: Optional[str] = None,
+        **kwargs: Any,
+    ) -> Any:
+        """Invoke ``method`` on the named endpoint, paying link costs.
+
+        ``request_payload_bytes`` covers uploads (e.g. pushing a Gear
+        file); the handler's declared response size covers downloads.
+        """
+        endpoint = self.endpoint(endpoint_name)
+        tag = label or f"{endpoint_name}.{method}"
+        self.link.transfer(
+            self.REQUEST_FRAME_BYTES + request_payload_bytes,
+            label=f"{tag}:request",
+        )
+        result, response_bytes = endpoint.handle(method, *args, **kwargs)
+        if response_bytes:
+            self.link.transfer(response_bytes, label=f"{tag}:response")
+        endpoint.stats.calls += 1
+        endpoint.stats.request_bytes += request_payload_bytes
+        endpoint.stats.response_bytes += response_bytes
+        return result

@@ -1,0 +1,13 @@
+"""Storage devices and object stores.
+
+:mod:`repro.storage.disk` models the paper's testbed disks (a WD Purple
+HDD; SSD as the Fig. 6 what-if) for the conversion-time experiment.
+:mod:`repro.storage.objectstore` is the MinIO stand-in backing the Gear
+Registry: a content-addressed bucket with query/upload/download, the three
+HTTP interfaces §IV describes.
+"""
+
+from repro.storage.disk import Disk, HDD, SSD
+from repro.storage.objectstore import ObjectStore
+
+__all__ = ["Disk", "HDD", "SSD", "ObjectStore"]

@@ -1,0 +1,31 @@
+"""An in-memory POSIX-like virtual filesystem.
+
+This substrate stands in for the Linux filesystems (EXT4 + overlayfs) the
+paper's prototype runs on.  It provides:
+
+* :mod:`repro.vfs.inode` — inodes with the node kinds container images
+  actually contain (regular files, directories, symlinks, hard links,
+  whiteouts);
+* :mod:`repro.vfs.tree` — a mutable filesystem tree with POSIX-style path
+  operations;
+* :mod:`repro.vfs.tar` — deterministic tar-like archive serialization used
+  for Docker layer tarballs;
+* :mod:`repro.vfs.overlay` — a full union-mount implementation with
+  copy-up, whiteouts, and opaque directories, mirroring Overlay2 semantics
+  that both the Docker graph driver and the Gear File Viewer build on.
+"""
+
+from repro.vfs.inode import FileKind, Inode, Metadata
+from repro.vfs.overlay import OverlayMount
+from repro.vfs.tree import FileSystemTree
+from repro.vfs.tar import LayerArchive, TarEntry
+
+__all__ = [
+    "FileKind",
+    "Inode",
+    "Metadata",
+    "FileSystemTree",
+    "OverlayMount",
+    "LayerArchive",
+    "TarEntry",
+]

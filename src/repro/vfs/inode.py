@@ -1,0 +1,160 @@
+"""Inodes for the virtual filesystem."""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from repro.blob import Blob
+from repro.common.errors import VfsError
+
+_inode_numbers = itertools.count(1)
+
+
+class FileKind(enum.Enum):
+    """The node kinds found in container image filesystems."""
+
+    FILE = "file"
+    DIRECTORY = "dir"
+    SYMLINK = "symlink"
+    #: A whiteout marks a path as deleted by an upper layer.  Whiteouts
+    #: only appear inside layer-diff trees and writable overlay layers,
+    #: never in a merged view.
+    WHITEOUT = "whiteout"
+
+
+@dataclass
+class Metadata:
+    """POSIX-ish metadata carried by every inode.
+
+    Docker preserves ownership and permissions in layer tarballs, and the
+    Gear index must retain them (the index holds "metadata [containing]
+    the structure of the entire directory tree", §III-B).
+    """
+
+    mode: int = 0o644
+    uid: int = 0
+    gid: int = 0
+    mtime: float = 0.0
+    xattrs: Dict[str, str] = field(default_factory=dict)
+
+    def copy(self) -> "Metadata":
+        return Metadata(
+            mode=self.mode,
+            uid=self.uid,
+            gid=self.gid,
+            mtime=self.mtime,
+            xattrs=dict(self.xattrs),
+        )
+
+
+class Inode:
+    """One filesystem object; directory entries reference inodes.
+
+    Hard links are modelled exactly as on a real filesystem: multiple
+    directory entries pointing at the *same* :class:`Inode`, whose
+    ``nlink`` counts the references.  The Gear File Viewer's shared-cache
+    design (§III-D2) depends on this — fetched Gear files are hard-linked
+    from the level-1 cache into container indexes.
+    """
+
+    __slots__ = ("ino", "kind", "meta", "blob", "symlink_target", "children", "nlink", "opaque")
+
+    def __init__(
+        self,
+        kind: FileKind,
+        *,
+        meta: Optional[Metadata] = None,
+        blob: Optional[Blob] = None,
+        symlink_target: Optional[str] = None,
+    ) -> None:
+        self.ino: int = next(_inode_numbers)
+        self.kind = kind
+        self.meta = meta if meta is not None else Metadata()
+        self.blob: Optional[Blob] = None
+        self.symlink_target: Optional[str] = None
+        self.children: Optional[Dict[str, "Inode"]] = None
+        self.nlink = 1
+        #: Opaque directories hide all lower-layer content (overlayfs's
+        #: ``trusted.overlay.opaque`` xattr).
+        self.opaque = False
+
+        if kind is FileKind.FILE:
+            self.blob = blob if blob is not None else Blob.from_bytes(b"")
+        elif blob is not None:
+            raise VfsError(f"{kind.value} inode cannot carry a blob")
+        if kind is FileKind.DIRECTORY:
+            self.children = {}
+            self.meta.mode = meta.mode if meta is not None else 0o755
+        if kind is FileKind.SYMLINK:
+            if not symlink_target:
+                raise VfsError("symlink inode requires a target")
+            self.symlink_target = symlink_target
+        elif symlink_target is not None:
+            raise VfsError(f"{kind.value} inode cannot carry a symlink target")
+
+    # -- classification helpers ----------------------------------------
+
+    @property
+    def is_file(self) -> bool:
+        return self.kind is FileKind.FILE
+
+    @property
+    def is_dir(self) -> bool:
+        return self.kind is FileKind.DIRECTORY
+
+    @property
+    def is_symlink(self) -> bool:
+        return self.kind is FileKind.SYMLINK
+
+    @property
+    def is_whiteout(self) -> bool:
+        return self.kind is FileKind.WHITEOUT
+
+    @property
+    def size(self) -> int:
+        """Content size: blob length for files, 0 for everything else."""
+        if self.is_file:
+            assert self.blob is not None
+            return self.blob.size
+        return 0
+
+    # -- structural copy -------------------------------------------------
+
+    def clone(self, *, deep: bool = True) -> "Inode":
+        """Copy this inode (new inode number, nlink reset to 1).
+
+        Directories clone their subtree when ``deep``; files share the
+        (immutable) blob.  Used by copy-up and by layer application.
+        """
+        if self.kind is FileKind.FILE:
+            copy = Inode(FileKind.FILE, meta=self.meta.copy(), blob=self.blob)
+        elif self.kind is FileKind.SYMLINK:
+            copy = Inode(
+                FileKind.SYMLINK,
+                meta=self.meta.copy(),
+                symlink_target=self.symlink_target,
+            )
+        elif self.kind is FileKind.WHITEOUT:
+            copy = Inode(FileKind.WHITEOUT, meta=self.meta.copy())
+        else:
+            copy = Inode(FileKind.DIRECTORY, meta=self.meta.copy())
+            copy.opaque = self.opaque
+            if deep:
+                assert self.children is not None and copy.children is not None
+                for name, child in self.children.items():
+                    copy.children[name] = child.clone(deep=True)
+        return copy
+
+    def __repr__(self) -> str:
+        detail = ""
+        if self.is_file:
+            detail = f", size={self.size}"
+        elif self.is_symlink:
+            detail = f", target={self.symlink_target!r}"
+        elif self.is_dir:
+            assert self.children is not None
+            detail = f", entries={len(self.children)}"
+        return f"Inode(#{self.ino}, {self.kind.value}{detail})"

@@ -1,0 +1,477 @@
+"""Union mounts with Overlay2 semantics.
+
+An :class:`OverlayMount` merges a stack of read-only *lower* trees with one
+writable *upper* tree, implementing the behaviour of Linux overlayfs that
+Docker's Overlay2 graph driver relies on (§II-C) and that the Gear File
+Viewer extends (§III-D2):
+
+* lookup resolves top-down: the upper layer shadows lowers, whiteouts hide
+  lower entries, opaque directories mask all lower directory contents;
+* directories merge across layers; non-directories shadow;
+* writes go to the upper layer (files are copied up first when modified);
+* deletes of lower-layer entries place whiteouts in the upper layer;
+* symlinks resolve against the *merged* namespace, as on a real mount.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.blob import Blob
+from repro.common.errors import (
+    FileExistsVfsError,
+    IsADirectoryVfsError,
+    NotADirectoryVfsError,
+    NotFoundError,
+    SymlinkLoopError,
+    VfsError,
+)
+from repro.vfs import paths
+from repro.vfs.inode import FileKind, Inode, Metadata
+from repro.vfs.tree import FileSystemTree
+
+_MAX_SYMLINK_DEPTH = 40
+
+
+@dataclass
+class MountStats:
+    """Counters the deployment experiments read off a mount."""
+
+    lookups: int = 0
+    reads: int = 0
+    bytes_read: int = 0
+    copy_ups: int = 0
+    whiteouts_created: int = 0
+    #: Inodes touched since mount — drives the unmount-cost model for the
+    #: short-running experiment (Fig. 11b): Gear "only needs to destroy
+    #: the inode caches of required files".
+    inodes_touched: int = 0
+
+
+class OverlayMount:
+    """A merged read-write view over ``upper`` + ``lowers``.
+
+    ``lowers`` are ordered **top-most first** (the overlayfs ``lowerdir``
+    convention): ``lowers[0]`` shadows ``lowers[1]`` and so on.  The upper
+    tree shadows them all and receives every mutation.
+    """
+
+    def __init__(
+        self,
+        lowers: Sequence[FileSystemTree],
+        upper: Optional[FileSystemTree] = None,
+    ) -> None:
+        self.lowers: Tuple[FileSystemTree, ...] = tuple(lowers)
+        self.upper: FileSystemTree = upper if upper is not None else FileSystemTree()
+        if self.upper.read_only:
+            raise VfsError("upper layer must be writable")
+        self.stats = MountStats()
+        self._touched: Set[int] = set()
+
+    # ------------------------------------------------------------------
+    # resolution machinery
+    # ------------------------------------------------------------------
+
+    def _layer_roots(self) -> List[Inode]:
+        return [self.upper.root] + [tree.root for tree in self.lowers]
+
+    def _dir_stack(self, parts: Sequence[str]) -> List[Inode]:
+        """Directory inodes contributing to the merged dir at ``parts``.
+
+        Returns the contributing inodes top-most first; empty when the
+        path is not a merged directory.  Raises nothing — callers decide
+        how to report absence.
+        """
+        current = self._layer_roots()
+        for name in parts:
+            merged: List[Inode] = []
+            for dir_inode in current:
+                assert dir_inode.children is not None
+                child = dir_inode.children.get(name)
+                if child is None:
+                    continue
+                if child.is_whiteout:
+                    break
+                if not child.is_dir:
+                    # A non-directory shadows everything below; if it is
+                    # the top-most entry the path is not a directory.
+                    break
+                merged.append(child)
+                if child.opaque:
+                    break
+            current = merged
+            if not current:
+                return []
+        return current
+
+    def _visible_child(
+        self, dir_parts: Sequence[str], name: str
+    ) -> Optional[Inode]:
+        """Top-most visible node named ``name`` in the merged directory."""
+        for dir_inode in self._dir_stack(dir_parts):
+            assert dir_inode.children is not None
+            child = dir_inode.children.get(name)
+            if child is None:
+                continue
+            if child.is_whiteout:
+                return None
+            return child
+        return None
+
+    def _resolve(
+        self, path: str, *, follow_symlinks: bool = True
+    ) -> Tuple[Inode, List[str]]:
+        """Resolve ``path`` in the merged namespace.
+
+        Returns the visible inode and the fully-resolved component list.
+        """
+        self.stats.lookups += 1
+        parts = paths.split(path)
+        resolved: List[str] = []
+        depth = 0
+        index = 0
+        while index < len(parts):
+            name = parts[index]
+            node = self._visible_child(resolved, name)
+            if node is None:
+                raise NotFoundError(f"no such file or directory: {path!r}")
+            is_last = index == len(parts) - 1
+            if node.is_symlink and (follow_symlinks or not is_last):
+                depth += 1
+                if depth > _MAX_SYMLINK_DEPTH:
+                    raise SymlinkLoopError(f"too many symlinks: {path!r}")
+                assert node.symlink_target is not None
+                link_path = "/" + "/".join(resolved + [name])
+                target = paths.resolve_symlink_target(
+                    link_path, node.symlink_target
+                )
+                remainder = parts[index + 1 :]
+                parts = paths.split(target) + list(remainder)
+                resolved = []
+                index = 0
+                continue
+            if not is_last and not node.is_dir:
+                raise NotADirectoryVfsError(
+                    f"{'/' + '/'.join(resolved + [name])!r} is not a directory"
+                )
+            resolved.append(name)
+            index += 1
+        if not parts:
+            stack = self._dir_stack([])
+            return stack[0], []
+        self._touched.add(node.ino)
+        self.stats.inodes_touched = len(self._touched)
+        return node, resolved
+
+    # ------------------------------------------------------------------
+    # read side
+    # ------------------------------------------------------------------
+
+    def exists(self, path: str, *, follow_symlinks: bool = True) -> bool:
+        try:
+            self._resolve(path, follow_symlinks=follow_symlinks)
+            return True
+        except (NotFoundError, NotADirectoryVfsError, SymlinkLoopError):
+            return False
+
+    def stat(self, path: str, *, follow_symlinks: bool = True) -> Inode:
+        node, _ = self._resolve(path, follow_symlinks=follow_symlinks)
+        return node
+
+    def is_dir(self, path: str) -> bool:
+        try:
+            return self.stat(path).is_dir
+        except (NotFoundError, NotADirectoryVfsError, SymlinkLoopError):
+            return False
+
+    def readlink(self, path: str) -> str:
+        node, _ = self._resolve(path, follow_symlinks=False)
+        if not node.is_symlink:
+            raise VfsError(f"{path!r} is not a symbolic link")
+        assert node.symlink_target is not None
+        return node.symlink_target
+
+    def read_blob(self, path: str) -> Blob:
+        """Return the blob of the regular file at ``path``.
+
+        Subclasses (the Gear File Viewer) hook this to fault in content.
+        """
+        node, resolved = self._resolve(path)
+        if node.is_dir:
+            raise IsADirectoryVfsError(f"{path!r} is a directory")
+        if not node.is_file:
+            raise VfsError(f"{path!r} is not a regular file")
+        node = self._materialize(node, resolved)
+        assert node.blob is not None
+        self.stats.reads += 1
+        self.stats.bytes_read += node.blob.size
+        return node.blob
+
+    def _materialize(self, node: Inode, resolved: Sequence[str]) -> Inode:
+        """Hook for lazy-content mounts; identity in the base class.
+
+        The Gear File Viewer overrides this to fault fingerprint stubs in
+        from the shared cache or the Gear Registry.
+        """
+        return node
+
+    def read_bytes(self, path: str) -> bytes:
+        return self.read_blob(path).materialize()
+
+    def listdir(self, path: str = "/") -> List[str]:
+        """Merged directory listing with whiteout/opaque rules applied."""
+        node, resolved = self._resolve(path)
+        if not node.is_dir:
+            raise NotADirectoryVfsError(f"{path!r} is not a directory")
+        names: Dict[str, bool] = {}
+        hidden: Set[str] = set()
+        for dir_inode in self._dir_stack(resolved):
+            assert dir_inode.children is not None
+            for name, child in dir_inode.children.items():
+                if name in hidden or name in names:
+                    continue
+                if child.is_whiteout:
+                    hidden.add(name)
+                else:
+                    names[name] = True
+        return sorted(names)
+
+    def walk(self, top: str = "/") -> Iterator[Tuple[str, Inode]]:
+        """Depth-first walk of the merged view, sorted for determinism."""
+        top_norm = paths.normalize(top)
+        node, _ = self._resolve(top_norm)
+        if not node.is_dir:
+            raise NotADirectoryVfsError(f"{top!r} is not a directory")
+        yield from self._walk_merged(top_norm)
+
+    def _walk_merged(self, dir_path: str) -> Iterator[Tuple[str, Inode]]:
+        for name in sorted(self.listdir(dir_path)):
+            child_path = paths.join(dir_path, name)
+            child = self.stat(child_path, follow_symlinks=False)
+            yield child_path, child
+            if child.is_dir:
+                yield from self._walk_merged(child_path)
+
+    def to_tree(self) -> FileSystemTree:
+        """Materialize the merged view as a standalone tree."""
+        tree = FileSystemTree()
+        for path, node in self.walk("/"):
+            if node.is_dir:
+                directory = tree.mkdir(path, parents=True, exist_ok=True)
+                directory.meta = node.meta.copy()
+            elif node.is_symlink:
+                assert node.symlink_target is not None
+                tree.symlink(path, node.symlink_target, meta=node.meta.copy())
+            elif node.is_file:
+                tree.write_file(path, node.blob, meta=node.meta.copy(), parents=True)
+        return tree
+
+    # ------------------------------------------------------------------
+    # write side
+    # ------------------------------------------------------------------
+
+    def _ensure_upper_dirs(self, dir_parts: Sequence[str]) -> None:
+        """Create the ancestor chain in the upper layer (directory copy-up).
+
+        Each ancestor must be a directory in the merged view; its metadata
+        is copied from the merged inode, as overlayfs copy-up does.
+        """
+        so_far: List[str] = []
+        for name in dir_parts:
+            so_far.append(name)
+            merged = self._visible_child(so_far[:-1], name)
+            if merged is None:
+                raise NotFoundError(
+                    f"missing ancestor: {'/' + '/'.join(so_far)!r}"
+                )
+            if not merged.is_dir:
+                raise NotADirectoryVfsError(
+                    f"{'/' + '/'.join(so_far)!r} is not a directory"
+                )
+            upper_path = "/" + "/".join(so_far)
+            if not self.upper.exists(upper_path, follow_symlinks=False):
+                created = self.upper.mkdir(upper_path, exist_ok=True)
+                created.meta = merged.meta.copy()
+            elif not self.upper.stat(upper_path, follow_symlinks=False).is_dir:
+                raise NotADirectoryVfsError(
+                    f"upper entry {upper_path!r} is not a directory"
+                )
+
+    def write_file(
+        self,
+        path: str,
+        content: "Blob | bytes | str",
+        *,
+        meta: Optional[Metadata] = None,
+        parents: bool = False,
+    ) -> Inode:
+        """Create or overwrite a regular file; the write lands in upper."""
+        if parents:
+            parent_path, _ = paths.parent_and_name(path)
+            self.mkdir(parent_path, parents=True, exist_ok=True)
+        _, resolved_parent = self._resolve_parent(path)
+        _, name = paths.parent_and_name(path)
+        existing = self._visible_child(resolved_parent, name)
+        if existing is not None and existing.is_dir:
+            raise IsADirectoryVfsError(f"{path!r} is a directory")
+        self._ensure_upper_dirs(resolved_parent)
+        upper_path = "/" + "/".join(list(resolved_parent) + [name])
+        return self.upper.write_file(upper_path, content, meta=meta)
+
+    def append_file(self, path: str, extra: bytes) -> Inode:
+        """Append to a file, copying it up first if it lives in a lower."""
+        original = self.read_blob(path)
+        self._note_copy_up(path)
+        return self.write_file(path, original.materialize() + extra)
+
+    def copy_up(self, path: str) -> Inode:
+        """Explicitly copy a lower file into the upper layer unchanged."""
+        node, resolved = self._resolve(path, follow_symlinks=False)
+        if node.is_dir:
+            raise IsADirectoryVfsError("copy-up of directories is implicit")
+        upper_path = "/" + "/".join(resolved)
+        if self.upper.exists(upper_path, follow_symlinks=False):
+            return self.upper.stat(upper_path, follow_symlinks=False)
+        self._ensure_upper_dirs(resolved[:-1])
+        self.stats.copy_ups += 1
+        if node.is_symlink:
+            assert node.symlink_target is not None
+            return self.upper.symlink(
+                upper_path, node.symlink_target, meta=node.meta.copy()
+            )
+        # Lazy-content mounts must fault the real bytes in before the
+        # copy (a Gear stub's placeholder must never be copied up).
+        node = self._materialize(node, resolved)
+        assert node.blob is not None
+        return self.upper.write_file(upper_path, node.blob, meta=node.meta.copy())
+
+    def mkdir(
+        self, path: str, *, parents: bool = False, exist_ok: bool = False
+    ) -> Inode:
+        """Create a directory in the merged view (lands in upper)."""
+        parts = paths.split(path)
+        if not parts:
+            if exist_ok:
+                return self.upper.root
+            raise FileExistsVfsError("root directory always exists")
+        existing = self._visible_child(parts[:-1], parts[-1]) if self._dir_stack(
+            parts[:-1]
+        ) else None
+        if existing is not None:
+            if existing.is_dir and exist_ok:
+                self._ensure_upper_dirs(parts)
+                return self.upper.stat(path, follow_symlinks=False)
+            raise FileExistsVfsError(f"path exists: {path!r}")
+        if parents:
+            self._ensure_upper_parents_with_merge(parts[:-1])
+        _, resolved_parent = self._resolve_parent(path)
+        self._ensure_upper_dirs(resolved_parent)
+        upper_path = "/" + "/".join(list(resolved_parent) + [parts[-1]])
+        return self.upper.mkdir(upper_path)
+
+    def _ensure_upper_parents_with_merge(self, parts: Sequence[str]) -> None:
+        so_far: List[str] = []
+        for name in parts:
+            if self._visible_child(so_far, name) is None:
+                self.upper.mkdir("/" + "/".join(so_far + [name]), parents=True,
+                                 exist_ok=True)
+            so_far.append(name)
+
+    def symlink(self, path: str, target: str) -> Inode:
+        """Create a symlink in the merged view (lands in upper)."""
+        _, resolved_parent = self._resolve_parent(path)
+        _, name = paths.parent_and_name(path)
+        if self._visible_child(resolved_parent, name) is not None:
+            raise FileExistsVfsError(f"path exists: {path!r}")
+        self._ensure_upper_dirs(resolved_parent)
+        upper_path = "/" + "/".join(list(resolved_parent) + [name])
+        return self.upper.symlink(upper_path, target)
+
+    def remove(self, path: str, *, recursive: bool = False) -> None:
+        """Delete from the merged view, placing whiteouts when needed."""
+        node, resolved = self._resolve(path, follow_symlinks=False)
+        if node.is_dir:
+            children = self.listdir("/" + "/".join(resolved))
+            if children and not recursive:
+                raise VfsError(f"directory not empty: {path!r}")
+            for child in children:
+                self.remove(paths.join(path, child), recursive=True)
+        upper_path = "/" + "/".join(resolved)
+        in_upper = self.upper.exists(upper_path, follow_symlinks=False)
+        in_lower = self._exists_in_lowers(resolved)
+        if in_upper:
+            self.upper.remove(upper_path, recursive=True)
+        if in_lower:
+            self._ensure_upper_dirs(resolved[:-1])
+            self.upper.whiteout(upper_path)
+            self.stats.whiteouts_created += 1
+
+    def rename(self, old: str, new: str) -> None:
+        """Rename via copy + delete (sufficient for the workloads here)."""
+        node, _ = self._resolve(old, follow_symlinks=False)
+        if node.is_dir:
+            raise VfsError("directory rename is not supported")
+        if node.is_symlink:
+            assert node.symlink_target is not None
+            self.symlink(new, node.symlink_target)
+        else:
+            assert node.blob is not None
+            self.write_file(new, node.blob, meta=node.meta.copy())
+        self.remove(old)
+
+    # ------------------------------------------------------------------
+    # helpers
+    # ------------------------------------------------------------------
+
+    def _resolve_parent(self, path: str) -> Tuple[Inode, List[str]]:
+        parent_path, _ = paths.parent_and_name(path)
+        node, resolved = self._resolve(parent_path)
+        if not node.is_dir:
+            raise NotADirectoryVfsError(f"{parent_path!r} is not a directory")
+        return node, resolved
+
+    def _exists_in_lowers(self, parts: Sequence[str]) -> bool:
+        """Whether any contributing lower layer has a visible entry.
+
+        Uses the merged dir stack of the parent so masking (opaque dirs,
+        shadowing files) is honoured.
+        """
+        if not parts:
+            return True
+        stack = self._dir_stack(parts[:-1])
+        upper_root_first = stack and stack[0] is self._upper_dir_inode(parts[:-1])
+        for position, dir_inode in enumerate(stack):
+            if upper_root_first and position == 0:
+                continue
+            assert dir_inode.children is not None
+            child = dir_inode.children.get(parts[-1])
+            if child is None:
+                continue
+            return not child.is_whiteout
+        return False
+
+    def _upper_dir_inode(self, parts: Sequence[str]) -> Optional[Inode]:
+        node = self.upper.root
+        for name in parts:
+            if not node.is_dir:
+                return None
+            assert node.children is not None
+            child = node.children.get(name)
+            if child is None or child.is_whiteout:
+                return None
+            node = child
+        return node
+
+    def _note_copy_up(self, path: str) -> None:
+        node, resolved = self._resolve(path, follow_symlinks=False)
+        upper_path = "/" + "/".join(resolved)
+        if not self.upper.exists(upper_path, follow_symlinks=False):
+            self.stats.copy_ups += 1
+
+    def reset_stats(self) -> None:
+        self.stats = MountStats()
+        self._touched.clear()
+
+    def __repr__(self) -> str:
+        return f"OverlayMount(lowers={len(self.lowers)})"

@@ -1,0 +1,70 @@
+"""POSIX path normalization helpers for the virtual filesystem.
+
+All VFS APIs accept absolute POSIX-style paths (``"/usr/bin/python"``).
+These helpers canonicalize them *lexically* (no symlink resolution — that
+is the tree's job, since it needs inode access).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.common.errors import VfsError
+
+
+def normalize(path: str) -> str:
+    """Canonicalize an absolute path lexically.
+
+    Collapses repeated slashes and ``.`` segments and resolves ``..``
+    against its lexical parent.  Raises :class:`VfsError` for relative
+    paths or ``..`` escaping the root.
+    """
+    return "/" + "/".join(split(path))
+
+
+def split(path: str) -> List[str]:
+    """Split an absolute path into normalized components."""
+    if not path.startswith("/"):
+        raise VfsError(f"path must be absolute: {path!r}")
+    parts: List[str] = []
+    for component in path.split("/"):
+        if component in ("", "."):
+            continue
+        if component == "..":
+            if not parts:
+                raise VfsError(f"path escapes root: {path!r}")
+            parts.pop()
+        else:
+            parts.append(component)
+    return parts
+
+
+def parent_and_name(path: str) -> Tuple[str, str]:
+    """Split a path into its parent directory path and final component."""
+    parts = split(path)
+    if not parts:
+        raise VfsError("root has no parent")
+    return "/" + "/".join(parts[:-1]), parts[-1]
+
+
+def join(base: str, *components: str) -> str:
+    """Join path components under an absolute base, then normalize."""
+    pieces = [base.rstrip("/")]
+    for component in components:
+        pieces.append(component.strip("/"))
+    return normalize("/".join(pieces) or "/")
+
+
+def is_ancestor(ancestor: str, path: str) -> bool:
+    """True when ``ancestor`` is a (non-strict) prefix directory of ``path``."""
+    ancestor_parts = split(ancestor)
+    path_parts = split(path)
+    return path_parts[: len(ancestor_parts)] == ancestor_parts
+
+
+def resolve_symlink_target(link_path: str, target: str) -> str:
+    """Resolve a symlink target (absolute or relative) to an absolute path."""
+    if target.startswith("/"):
+        return normalize(target)
+    parent, _ = parent_and_name(link_path)
+    return join(parent, *target.split("/")) if target else parent

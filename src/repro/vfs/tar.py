@@ -1,0 +1,330 @@
+"""Deterministic tar-like layer archives.
+
+Docker stores each image layer as a tarball (compressed in the registry,
+§II-B).  :class:`LayerArchive` is the reproduction's tarball: an ordered,
+canonical sequence of :class:`TarEntry` records that
+
+* serializes any :class:`~repro.vfs.tree.FileSystemTree` (including diff
+  trees containing whiteouts, encoded with the overlayfs/AUFS ``.wh.``
+  naming convention Docker actually uses on the wire);
+* has a deterministic SHA-256 digest, so identical layers produced on
+  different "machines" deduplicate at the registry exactly as real layer
+  digests do;
+* knows its uncompressed and compressed sizes (per-entry 512-byte header
+  blocks plus content, mirroring the tar format's accounting);
+* can be applied onto a tree to reconstruct a root filesystem bottom-up,
+  the way the Gear Converter unpacks layers (§III-B).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.blob import Blob
+from repro.blob.compressibility import blob_compressed_size
+from repro.common.errors import VfsError
+from repro.common.hashing import Digest, sha256_tokens
+from repro.vfs import paths
+from repro.vfs.inode import FileKind, Inode, Metadata
+from repro.vfs.tree import FileSystemTree
+
+#: tar writes a 512-byte header block per entry and pads content to 512.
+_TAR_BLOCK = 512
+
+#: AUFS-style whiteout prefix Docker uses inside layer tarballs.
+WHITEOUT_PREFIX = ".wh."
+
+#: Marker file making a directory opaque.
+OPAQUE_MARKER = ".wh..wh..opq"
+
+
+@dataclass(frozen=True)
+class TarEntry:
+    """One archive member.
+
+    ``kind`` is the node kind; whiteouts are represented as FILE entries
+    whose basename carries the ``.wh.`` prefix, as in real Docker layers,
+    so ``kind`` here is never ``WHITEOUT``.
+    """
+
+    path: str
+    kind: FileKind
+    mode: int
+    uid: int
+    gid: int
+    blob: Optional[Blob] = None
+    symlink_target: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.kind is FileKind.FILE and self.blob is None:
+            raise VfsError(f"file entry {self.path!r} requires a blob")
+        if self.kind is FileKind.SYMLINK and not self.symlink_target:
+            raise VfsError(f"symlink entry {self.path!r} requires a target")
+        if self.kind is FileKind.WHITEOUT:
+            raise VfsError("whiteouts are encoded via the .wh. prefix")
+
+    @property
+    def content_size(self) -> int:
+        return self.blob.size if self.blob is not None else 0
+
+    @property
+    def archived_size(self) -> int:
+        """Bytes this entry occupies in the archive (header + padded data)."""
+        data = self.content_size
+        padded = (data + _TAR_BLOCK - 1) // _TAR_BLOCK * _TAR_BLOCK
+        return _TAR_BLOCK + padded
+
+    def identity_tokens(self) -> Iterable[str]:
+        """Canonical tokens feeding the archive digest."""
+        yield self.path
+        yield self.kind.value
+        yield f"{self.mode:o}:{self.uid}:{self.gid}"
+        if self.blob is not None:
+            yield self.blob.fingerprint
+        if self.symlink_target is not None:
+            yield self.symlink_target
+
+    @property
+    def is_whiteout(self) -> bool:
+        _, name = paths.parent_and_name(self.path)
+        return name.startswith(WHITEOUT_PREFIX) and name != OPAQUE_MARKER
+
+    @property
+    def is_opaque_marker(self) -> bool:
+        _, name = paths.parent_and_name(self.path)
+        return name == OPAQUE_MARKER
+
+
+class LayerArchive:
+    """An immutable, canonical archive of one layer's contents."""
+
+    def __init__(self, entries: Iterable[TarEntry]) -> None:
+        self._entries: Tuple[TarEntry, ...] = tuple(
+            sorted(entries, key=lambda e: e.path)
+        )
+        self._digest: Optional[Digest] = None
+
+    # -- construction ----------------------------------------------------
+
+    @classmethod
+    def from_tree(cls, tree: FileSystemTree, top: str = "/") -> "LayerArchive":
+        """Archive every node under ``top``.
+
+        Whiteout inodes become ``.wh.<name>`` file entries; opaque
+        directories additionally emit an opaque marker inside themselves.
+        Hard-linked files are archived as independent file entries sharing
+        a blob (tar hardlink entries are an optimization we do not need
+        for identity or sizing fidelity).
+        """
+        entries: List[TarEntry] = []
+        for path, node in tree.walk(top, include_whiteouts=True):
+            rel = _relative(path, top)
+            if node.is_whiteout:
+                parent, name = paths.parent_and_name(rel)
+                entries.append(
+                    TarEntry(
+                        path=paths.join(parent, WHITEOUT_PREFIX + name),
+                        kind=FileKind.FILE,
+                        mode=0o0,
+                        uid=0,
+                        gid=0,
+                        blob=Blob.from_bytes(b""),
+                    )
+                )
+                continue
+            entries.append(_entry_for(rel, node))
+            if node.is_dir and node.opaque:
+                entries.append(
+                    TarEntry(
+                        path=paths.join(rel, OPAQUE_MARKER),
+                        kind=FileKind.FILE,
+                        mode=0o0,
+                        uid=0,
+                        gid=0,
+                        blob=Blob.from_bytes(b""),
+                    )
+                )
+        return cls(entries)
+
+    # -- identity & sizes --------------------------------------------------
+
+    @property
+    def entries(self) -> Tuple[TarEntry, ...]:
+        return self._entries
+
+    @property
+    def digest(self) -> Digest:
+        """SHA-256 digest identifying this layer (Docker's layer digest)."""
+        if self._digest is None:
+            tokens: List[str] = []
+            for entry in self._entries:
+                tokens.extend(entry.identity_tokens())
+            self._digest = sha256_tokens(tokens)
+        return self._digest
+
+    @property
+    def uncompressed_size(self) -> int:
+        """Total archive bytes before compression."""
+        return sum(entry.archived_size for entry in self._entries) + 2 * _TAR_BLOCK
+
+    @property
+    def compressed_size(self) -> int:
+        """Archive bytes after (modelled) gzip compression.
+
+        Headers compress extremely well (~95%); content compresses per
+        the blob compressibility model.
+        """
+        header_bytes = (
+            self.uncompressed_size
+            - sum(entry.content_size for entry in self._entries)
+        )
+        compressed = round(header_bytes * 0.05)
+        for entry in self._entries:
+            if entry.blob is not None:
+                compressed += blob_compressed_size(entry.blob)
+        return max(_TAR_BLOCK // 8, compressed)
+
+    @property
+    def file_count(self) -> int:
+        return sum(1 for e in self._entries if e.kind is FileKind.FILE)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(self._entries)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, LayerArchive):
+            return NotImplemented
+        return self.digest == other.digest
+
+    def __hash__(self) -> int:
+        return hash(self.digest)
+
+    def __repr__(self) -> str:
+        return (
+            f"LayerArchive(entries={len(self._entries)}, "
+            f"digest={self.digest.short()})"
+        )
+
+    # -- application -------------------------------------------------------
+
+    def apply_to(self, tree: FileSystemTree) -> FileSystemTree:
+        """Apply this layer onto ``tree`` (Docker layer extraction rules).
+
+        Whiteout entries delete the named path; opaque markers clear the
+        directory's prior contents; other entries overwrite.  Returns the
+        same tree for chaining.
+        """
+        for entry in self._entries:
+            parent_rel, name = paths.parent_and_name(entry.path)
+            if entry.is_opaque_marker:
+                if tree.exists(parent_rel) and tree.stat(parent_rel).is_dir:
+                    for child in tree.listdir(parent_rel):
+                        tree.remove(paths.join(parent_rel, child), recursive=True)
+                continue
+            if entry.is_whiteout:
+                victim = paths.join(parent_rel, name[len(WHITEOUT_PREFIX) :])
+                if tree.exists(victim, follow_symlinks=False):
+                    tree.remove(victim, recursive=True)
+                continue
+            tree.mkdir(parent_rel, parents=True, exist_ok=True)
+            meta = Metadata(mode=entry.mode, uid=entry.uid, gid=entry.gid)
+            if entry.kind is FileKind.DIRECTORY:
+                if tree.exists(entry.path, follow_symlinks=False):
+                    existing = tree.stat(entry.path, follow_symlinks=False)
+                    if not existing.is_dir:
+                        tree.remove(entry.path)
+                        tree.mkdir(entry.path, meta=meta)
+                else:
+                    tree.mkdir(entry.path, meta=meta)
+            elif entry.kind is FileKind.SYMLINK:
+                if tree.exists(entry.path, follow_symlinks=False):
+                    tree.remove(entry.path, recursive=True)
+                assert entry.symlink_target is not None
+                tree.symlink(entry.path, entry.symlink_target, meta=meta)
+            else:
+                if tree.exists(entry.path, follow_symlinks=False):
+                    existing = tree.stat(entry.path, follow_symlinks=False)
+                    if existing.is_dir:
+                        tree.remove(entry.path, recursive=True)
+                assert entry.blob is not None
+                tree.write_file(entry.path, entry.blob, meta=meta)
+        return tree
+
+    def extract(self) -> FileSystemTree:
+        """Unpack this archive into a fresh tree."""
+        return self.apply_to(FileSystemTree())
+
+    def extract_diff(self) -> FileSystemTree:
+        """Unpack into a *diff tree*, preserving whiteouts as inodes.
+
+        Layer application (:meth:`apply_to`) executes deletions; a graph
+        driver instead needs the layer as an overlay *lower* directory in
+        which whiteouts and opaque flags survive as filesystem objects.
+        This is what Overlay2 keeps in each layer's ``diff/`` directory.
+        """
+        tree = FileSystemTree()
+        for entry in self._entries:
+            parent_rel, name = paths.parent_and_name(entry.path)
+            tree.mkdir(parent_rel, parents=True, exist_ok=True)
+            if entry.is_opaque_marker:
+                tree.set_opaque(parent_rel)
+                continue
+            if entry.is_whiteout:
+                victim = paths.join(parent_rel, name[len(WHITEOUT_PREFIX) :])
+                tree.whiteout(victim)
+                continue
+            meta = Metadata(mode=entry.mode, uid=entry.uid, gid=entry.gid)
+            if entry.kind is FileKind.DIRECTORY:
+                created = tree.mkdir(entry.path, parents=True, exist_ok=True)
+                created.meta = meta
+            elif entry.kind is FileKind.SYMLINK:
+                assert entry.symlink_target is not None
+                tree.symlink(entry.path, entry.symlink_target, meta=meta)
+            else:
+                assert entry.blob is not None
+                tree.write_file(entry.path, entry.blob, meta=meta)
+        return tree
+
+
+def _entry_for(path: str, node: Inode) -> TarEntry:
+    if node.is_dir:
+        return TarEntry(
+            path=path,
+            kind=FileKind.DIRECTORY,
+            mode=node.meta.mode,
+            uid=node.meta.uid,
+            gid=node.meta.gid,
+        )
+    if node.is_symlink:
+        return TarEntry(
+            path=path,
+            kind=FileKind.SYMLINK,
+            mode=node.meta.mode,
+            uid=node.meta.uid,
+            gid=node.meta.gid,
+            symlink_target=node.symlink_target,
+        )
+    if node.is_file:
+        return TarEntry(
+            path=path,
+            kind=FileKind.FILE,
+            mode=node.meta.mode,
+            uid=node.meta.uid,
+            gid=node.meta.gid,
+            blob=node.blob,
+        )
+    raise VfsError(f"cannot archive node kind {node.kind!r} at {path!r}")
+
+
+def _relative(path: str, top: str) -> str:
+    if top in ("", "/"):
+        return path
+    top_norm = paths.normalize(top)
+    if not paths.is_ancestor(top_norm, path):
+        raise VfsError(f"{path!r} is not under {top_norm!r}")
+    suffix = path[len(top_norm) :]
+    return paths.normalize(suffix or "/")

@@ -1,0 +1,376 @@
+"""A mutable filesystem tree with POSIX-style path operations."""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.blob import Blob
+from repro.common.errors import (
+    FileExistsVfsError,
+    IsADirectoryVfsError,
+    NotADirectoryVfsError,
+    ReadOnlyVfsError,
+    SymlinkLoopError,
+    VfsError,
+)
+from repro.common.errors import NotFoundError
+from repro.vfs import paths
+from repro.vfs.inode import FileKind, Inode, Metadata
+
+#: Maximum symlink traversals during path resolution (Linux uses 40).
+_MAX_SYMLINK_DEPTH = 40
+
+
+class FileSystemTree:
+    """An in-memory filesystem rooted at ``/``.
+
+    The tree is the unit everything else manipulates: Docker layers are
+    diff trees, images unpack into trees, the Gear converter walks a tree,
+    and overlay mounts merge trees.  Mutations go through path-based
+    methods mirroring the POSIX calls the paper's components issue.
+    """
+
+    def __init__(self, *, read_only: bool = False) -> None:
+        self.root = Inode(FileKind.DIRECTORY, meta=Metadata(mode=0o755))
+        self._read_only = read_only
+
+    # -- mutability ------------------------------------------------------
+
+    @property
+    def read_only(self) -> bool:
+        return self._read_only
+
+    def freeze(self) -> "FileSystemTree":
+        """Mark the tree read-only (image layers are immutable once built)."""
+        self._read_only = True
+        return self
+
+    def _check_writable(self) -> None:
+        if self._read_only:
+            raise ReadOnlyVfsError("filesystem tree is read-only")
+
+    # -- resolution ------------------------------------------------------
+
+    def _lookup(
+        self, path: str, *, follow_symlinks: bool = True, _depth: int = 0
+    ) -> Inode:
+        if _depth > _MAX_SYMLINK_DEPTH:
+            raise SymlinkLoopError(f"too many symbolic links resolving {path!r}")
+        parts = paths.split(path)
+        node = self.root
+        for index, name in enumerate(parts):
+            if not node.is_dir:
+                raise NotADirectoryVfsError(
+                    f"{'/' + '/'.join(parts[:index])!r} is not a directory"
+                )
+            assert node.children is not None
+            child = node.children.get(name)
+            if child is None or child.is_whiteout:
+                raise NotFoundError(f"no such file or directory: {path!r}")
+            is_last = index == len(parts) - 1
+            if child.is_symlink and (follow_symlinks or not is_last):
+                assert child.symlink_target is not None
+                link_path = "/" + "/".join(parts[: index + 1])
+                target = paths.resolve_symlink_target(
+                    link_path, child.symlink_target
+                )
+                rest = parts[index + 1 :]
+                full = paths.join(target, *rest) if rest else target
+                return self._lookup(
+                    full, follow_symlinks=follow_symlinks, _depth=_depth + 1
+                )
+            node = child
+        return node
+
+    def _lookup_parent(self, path: str) -> Tuple[Inode, str]:
+        """Resolve the parent directory of ``path`` and the final name."""
+        parent_path, name = paths.parent_and_name(path)
+        parent = self._lookup(parent_path, follow_symlinks=True)
+        if not parent.is_dir:
+            raise NotADirectoryVfsError(f"{parent_path!r} is not a directory")
+        return parent, name
+
+    # -- queries ---------------------------------------------------------
+
+    def exists(self, path: str, *, follow_symlinks: bool = True) -> bool:
+        """True when the path resolves to a live node."""
+        try:
+            self._lookup(path, follow_symlinks=follow_symlinks)
+            return True
+        except (NotFoundError, NotADirectoryVfsError, SymlinkLoopError):
+            return False
+
+    def stat(self, path: str, *, follow_symlinks: bool = True) -> Inode:
+        """Return the inode at ``path`` (raises :class:`NotFoundError`)."""
+        return self._lookup(path, follow_symlinks=follow_symlinks)
+
+    def is_dir(self, path: str) -> bool:
+        try:
+            return self._lookup(path).is_dir
+        except (NotFoundError, NotADirectoryVfsError, SymlinkLoopError):
+            return False
+
+    def is_file(self, path: str) -> bool:
+        try:
+            return self._lookup(path).is_file
+        except (NotFoundError, NotADirectoryVfsError, SymlinkLoopError):
+            return False
+
+    def read_blob(self, path: str) -> Blob:
+        """Return the blob of the regular file at ``path``."""
+        node = self._lookup(path)
+        if node.is_dir:
+            raise IsADirectoryVfsError(f"{path!r} is a directory")
+        if not node.is_file:
+            raise VfsError(f"{path!r} is not a regular file")
+        assert node.blob is not None
+        return node.blob
+
+    def read_bytes(self, path: str) -> bytes:
+        """Materialize and return the file's content bytes."""
+        return self.read_blob(path).materialize()
+
+    def readlink(self, path: str) -> str:
+        """Return the target of the symlink at ``path``."""
+        node = self._lookup(path, follow_symlinks=False)
+        if not node.is_symlink:
+            raise VfsError(f"{path!r} is not a symbolic link")
+        assert node.symlink_target is not None
+        return node.symlink_target
+
+    def listdir(self, path: str = "/") -> List[str]:
+        """Names in the directory at ``path``, sorted, whiteouts excluded."""
+        node = self._lookup(path)
+        if not node.is_dir:
+            raise NotADirectoryVfsError(f"{path!r} is not a directory")
+        assert node.children is not None
+        return sorted(
+            name for name, child in node.children.items() if not child.is_whiteout
+        )
+
+    def walk(
+        self, top: str = "/", *, include_whiteouts: bool = False
+    ) -> Iterator[Tuple[str, Inode]]:
+        """Yield ``(path, inode)`` for every node under ``top``, depth-first.
+
+        The top directory itself is not yielded.  Children are visited in
+        sorted name order so walks are deterministic.
+        """
+        node = self._lookup(top, follow_symlinks=False)
+        if not node.is_dir:
+            raise NotADirectoryVfsError(f"{top!r} is not a directory")
+        base = paths.normalize(top)
+        yield from self._walk_dir(base, node, include_whiteouts)
+
+    def _walk_dir(
+        self, dir_path: str, dir_node: Inode, include_whiteouts: bool
+    ) -> Iterator[Tuple[str, Inode]]:
+        assert dir_node.children is not None
+        for name in sorted(dir_node.children):
+            child = dir_node.children[name]
+            if child.is_whiteout and not include_whiteouts:
+                continue
+            child_path = paths.join(dir_path, name)
+            yield child_path, child
+            if child.is_dir:
+                yield from self._walk_dir(child_path, child, include_whiteouts)
+
+    def iter_files(self, top: str = "/") -> Iterator[Tuple[str, Inode]]:
+        """Yield ``(path, inode)`` for every regular file under ``top``."""
+        for path, node in self.walk(top):
+            if node.is_file:
+                yield path, node
+
+    def total_file_bytes(self, top: str = "/") -> int:
+        """Sum of regular-file sizes under ``top`` (hard links counted once
+        per inode)."""
+        seen: Dict[int, int] = {}
+        for _, node in self.iter_files(top):
+            seen[node.ino] = node.size
+        return sum(seen.values())
+
+    def count_nodes(self, top: str = "/") -> int:
+        """Number of nodes (files, dirs, symlinks) under ``top``."""
+        return sum(1 for _ in self.walk(top))
+
+    # -- mutations ---------------------------------------------------------
+
+    def mkdir(
+        self,
+        path: str,
+        *,
+        parents: bool = False,
+        exist_ok: bool = False,
+        meta: Optional[Metadata] = None,
+    ) -> Inode:
+        """Create a directory; with ``parents`` create missing ancestors."""
+        self._check_writable()
+        parts = paths.split(path)
+        if not parts:
+            if exist_ok:
+                return self.root
+            raise FileExistsVfsError("root directory always exists")
+        node = self.root
+        for index, name in enumerate(parts):
+            assert node.children is not None
+            child = node.children.get(name)
+            is_last = index == len(parts) - 1
+            if child is None or child.is_whiteout:
+                if not is_last and not parents:
+                    raise NotFoundError(
+                        f"missing ancestor {'/' + '/'.join(parts[: index + 1])!r}"
+                    )
+                child = Inode(
+                    FileKind.DIRECTORY,
+                    meta=(meta.copy() if meta is not None and is_last else None),
+                )
+                node.children[name] = child
+            elif is_last:
+                if not child.is_dir:
+                    raise FileExistsVfsError(f"{path!r} exists and is not a directory")
+                if not exist_ok:
+                    raise FileExistsVfsError(f"directory exists: {path!r}")
+            elif not child.is_dir:
+                raise NotADirectoryVfsError(
+                    f"{'/' + '/'.join(parts[: index + 1])!r} is not a directory"
+                )
+            node = child
+        return node
+
+    def write_file(
+        self,
+        path: str,
+        content: "Blob | bytes | str",
+        *,
+        meta: Optional[Metadata] = None,
+        parents: bool = False,
+    ) -> Inode:
+        """Create or replace the regular file at ``path``."""
+        self._check_writable()
+        blob = _coerce_blob(content)
+        if parents:
+            parent_path, _ = paths.parent_and_name(path)
+            self.mkdir(parent_path, parents=True, exist_ok=True)
+        parent, name = self._lookup_parent(path)
+        assert parent.children is not None
+        existing = parent.children.get(name)
+        if existing is not None and existing.is_dir:
+            raise IsADirectoryVfsError(f"{path!r} is a directory")
+        inode = Inode(FileKind.FILE, meta=meta, blob=blob)
+        if existing is not None:
+            _drop_link(existing)
+        parent.children[name] = inode
+        return inode
+
+    def symlink(
+        self, path: str, target: str, *, meta: Optional[Metadata] = None
+    ) -> Inode:
+        """Create a symbolic link at ``path`` pointing to ``target``."""
+        self._check_writable()
+        parent, name = self._lookup_parent(path)
+        assert parent.children is not None
+        existing = parent.children.get(name)
+        if existing is not None and not existing.is_whiteout:
+            raise FileExistsVfsError(f"path exists: {path!r}")
+        inode = Inode(FileKind.SYMLINK, meta=meta, symlink_target=target)
+        parent.children[name] = inode
+        return inode
+
+    def hardlink(self, new_path: str, existing_path: str) -> Inode:
+        """Create a hard link: a new directory entry for an existing file."""
+        self._check_writable()
+        target = self._lookup(existing_path)
+        if target.is_dir:
+            raise IsADirectoryVfsError("cannot hard-link a directory")
+        parent, name = self._lookup_parent(new_path)
+        assert parent.children is not None
+        existing = parent.children.get(name)
+        if existing is not None and not existing.is_whiteout:
+            raise FileExistsVfsError(f"path exists: {new_path!r}")
+        target.nlink += 1
+        parent.children[name] = target
+        return target
+
+    def link_inode(self, path: str, inode: Inode, *, replace: bool = False) -> Inode:
+        """Install an existing inode at ``path`` (hard-link semantics).
+
+        This is how the Gear File Viewer links a cached Gear file into an
+        index without copying content.
+        """
+        self._check_writable()
+        if inode.is_dir:
+            raise IsADirectoryVfsError("cannot link a directory inode")
+        parent, name = self._lookup_parent(path)
+        assert parent.children is not None
+        existing = parent.children.get(name)
+        if existing is not None and not existing.is_whiteout:
+            if not replace:
+                raise FileExistsVfsError(f"path exists: {path!r}")
+            _drop_link(existing)
+        inode.nlink += 1
+        parent.children[name] = inode
+        return inode
+
+    def remove(self, path: str, *, recursive: bool = False) -> None:
+        """Remove the node at ``path`` (``recursive`` required for dirs)."""
+        self._check_writable()
+        parent, name = self._lookup_parent(path)
+        assert parent.children is not None
+        node = parent.children.get(name)
+        if node is None or node.is_whiteout:
+            raise NotFoundError(f"no such file or directory: {path!r}")
+        if node.is_dir:
+            assert node.children is not None
+            live = [c for c in node.children.values() if not c.is_whiteout]
+            if live and not recursive:
+                raise VfsError(f"directory not empty: {path!r}")
+        _drop_link(node)
+        del parent.children[name]
+
+    def whiteout(self, path: str) -> Inode:
+        """Place a whiteout entry at ``path`` (replacing any node there)."""
+        self._check_writable()
+        parent, name = self._lookup_parent(path)
+        assert parent.children is not None
+        existing = parent.children.get(name)
+        if existing is not None:
+            _drop_link(existing)
+        inode = Inode(FileKind.WHITEOUT)
+        parent.children[name] = inode
+        return inode
+
+    def set_opaque(self, path: str, opaque: bool = True) -> None:
+        """Mark the directory at ``path`` opaque (hides lower layers)."""
+        self._check_writable()
+        node = self._lookup(path)
+        if not node.is_dir:
+            raise NotADirectoryVfsError(f"{path!r} is not a directory")
+        node.opaque = opaque
+
+    # -- whole-tree operations --------------------------------------------
+
+    def clone(self) -> "FileSystemTree":
+        """Deep-copy the tree (blobs shared, structure copied)."""
+        copy = FileSystemTree()
+        copy.root = self.root.clone(deep=True)
+        return copy
+
+    def __repr__(self) -> str:
+        return (
+            f"FileSystemTree(nodes={self.count_nodes()}, "
+            f"bytes={self.total_file_bytes()}, read_only={self._read_only})"
+        )
+
+
+def _coerce_blob(content: "Blob | bytes | str") -> Blob:
+    if isinstance(content, Blob):
+        return content
+    if isinstance(content, bytes):
+        return Blob.from_bytes(content)
+    if isinstance(content, str):
+        return Blob.from_text(content)
+    raise TypeError(f"unsupported content type: {type(content).__name__}")
+
+
+def _drop_link(node: Inode) -> None:
+    node.nlink -= 1

@@ -1,0 +1,69 @@
+"""Startup access traces.
+
+An :class:`AccessTrace` lists the files a container touches while
+performing its category's deployment task (§V-D): the *necessary data*.
+Traces drive the run phase of every deployment experiment — under Docker
+the reads are local; under Gear each first read of a stub faults the file
+in; under Slacker each read fetches the file's blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class AccessTrace:
+    """The ordered set of files one container start reads."""
+
+    reference: str
+    #: ``(path, size)`` in access order.
+    accesses: Tuple[Tuple[str, int], ...]
+    #: Task compute seconds overlapping the reads (CPU work of the
+    #: category's startup task).
+    compute_s: float
+
+    @property
+    def paths(self) -> List[str]:
+        return [path for path, _ in self.accesses]
+
+    @property
+    def file_count(self) -> int:
+        return len(self.accesses)
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(size for _, size in self.accesses)
+
+    def head(self, n: int) -> "AccessTrace":
+        """A truncated trace (used by partial-startup experiments)."""
+        return AccessTrace(
+            reference=self.reference,
+            accesses=self.accesses[:n],
+            compute_s=self.compute_s,
+        )
+
+
+def redundancy_ratio(traces: Sequence[AccessTrace]) -> float:
+    """Fig. 2's metric: the redundant share of necessary data in a series.
+
+    Sums necessary bytes over all the traces, dedups by file identity
+    (here: by (path-independent) content size + path since traces carry
+    no fingerprints — callers with access to images should prefer
+    :func:`repro.analysis.redundancy.series_redundancy`, which dedups by
+    true content fingerprint).
+    """
+    total = 0
+    seen = set()
+    unique = 0
+    for trace in traces:
+        for path, size in trace.accesses:
+            total += size
+            key = (path, size)
+            if key not in seen:
+                seen.add(key)
+                unique += size
+    if total == 0:
+        return 0.0
+    return 1.0 - unique / total

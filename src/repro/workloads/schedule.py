@@ -1,0 +1,104 @@
+"""Deployment schedules: who deploys what, in what order.
+
+The paper measures single deployments and one version sequence (Fig. 10).
+Real nodes see a *mix*: popular images recur (Docker Hub popularity is
+heavy-tailed — the paper's own dataset is the "top 50 most popular"
+series), versions roll forward, and occasionally a brand-new series
+appears.  A :class:`ScheduleBuilder` generates such a stream
+deterministically so cache-behaviour experiments run on realistic
+arrival patterns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.common.rng import rng_for
+from repro.workloads.corpus import Corpus, GeneratedImage
+
+
+@dataclass(frozen=True)
+class ScheduledDeployment:
+    """One entry in a node's deployment stream."""
+
+    position: int
+    image: GeneratedImage
+    #: True when this reference was deployed earlier in the schedule.
+    is_repeat: bool
+
+
+def zipf_weights(n: int, skew: float = 1.0) -> List[float]:
+    """Zipf popularity weights for ranks 1..n."""
+    if n <= 0:
+        raise ValueError("need at least one rank")
+    if skew < 0:
+        raise ValueError("skew must be non-negative")
+    return [1.0 / (rank**skew) for rank in range(1, n + 1)]
+
+
+class ScheduleBuilder:
+    """Generates deterministic deployment streams from a corpus."""
+
+    def __init__(self, corpus: Corpus, *, seed: str = "schedule") -> None:
+        self.corpus = corpus
+        self.seed = seed
+
+    def popularity_stream(
+        self,
+        length: int,
+        *,
+        skew: float = 1.0,
+        version_drift: float = 0.15,
+    ) -> List[ScheduledDeployment]:
+        """A node's day: zipf-popular series, versions drifting forward.
+
+        Each event picks a series by popularity rank and deploys that
+        series' *current* version on this node; with probability
+        ``version_drift`` the series first advances to its next version
+        (a release rolled out), so later events naturally mix repeats of
+        hot images with fresh versions.
+        """
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        series_names = sorted(self.corpus.by_series)
+        weights = zipf_weights(len(series_names), skew)
+        rng = rng_for(self.seed, "popularity", str(length), str(skew))
+        current_version: Dict[str, int] = {name: 0 for name in series_names}
+        seen: set = set()
+        schedule: List[ScheduledDeployment] = []
+        for position in range(length):
+            name = rng.choices(series_names, weights=weights, k=1)[0]
+            versions = self.corpus.by_series[name]
+            if (
+                rng.random() < version_drift
+                and current_version[name] < len(versions) - 1
+            ):
+                current_version[name] += 1
+            image = versions[current_version[name]]
+            reference = image.reference
+            schedule.append(
+                ScheduledDeployment(
+                    position=position,
+                    image=image,
+                    is_repeat=reference in seen,
+                )
+            )
+            seen.add(reference)
+        return schedule
+
+    def rolling_update_stream(self, series: str) -> List[ScheduledDeployment]:
+        """Fig. 10's pattern: every version of one series, in order."""
+        versions = self.corpus.by_series.get(series)
+        if not versions:
+            raise KeyError(f"corpus has no series {series!r}")
+        return [
+            ScheduledDeployment(position=index, image=image, is_repeat=False)
+            for index, image in enumerate(versions)
+        ]
+
+    def repeat_rate(self, schedule: Sequence[ScheduledDeployment]) -> float:
+        """Fraction of events that redeploy an already-seen reference."""
+        if not schedule:
+            return 0.0
+        return sum(1 for event in schedule if event.is_repeat) / len(schedule)

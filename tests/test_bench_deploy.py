@@ -1,0 +1,118 @@
+"""Deployment harness: pull/run breakdowns and the paper's qualitative shapes."""
+
+import pytest
+
+from repro.baselines.slacker import SlackerDriver
+from repro.bench.deploy import (
+    deploy_with_docker,
+    deploy_with_gear,
+    deploy_with_slacker,
+)
+from repro.bench.environment import make_testbed, publish_images
+
+
+class TestDocker:
+    def test_breakdown(self, published_testbed, small_corpus):
+        generated = small_corpus.get("nginx:v1")
+        result = deploy_with_docker(published_testbed, generated)
+        assert result.system == "docker"
+        assert result.pull_s > 0
+        assert result.run_s > 0
+        assert result.network_bytes > generated.image.compressed_size * 0.9
+
+    def test_pull_dominates_for_docker(self, published_testbed, small_corpus):
+        # §V-E: Docker's pull phase is the long one.
+        result = deploy_with_docker(published_testbed, small_corpus.get("tomcat:v1"))
+        assert result.pull_s > result.run_s * 0.5
+
+
+class TestGear:
+    def test_pull_is_tiny_run_fetches(self, published_testbed, small_corpus):
+        generated = small_corpus.get("nginx:v1")
+        result = deploy_with_gear(published_testbed, generated)
+        assert result.pull_s < 1.0
+        assert result.files_fetched > 0
+        assert result.network_bytes < generated.image.compressed_size
+
+    def test_gear_moves_fewer_bytes(self, published_testbed, small_corpus):
+        generated = small_corpus.get("tomcat:v1")
+        docker = deploy_with_docker(
+            published_testbed.fresh_client(), generated
+        )
+        gear = deploy_with_gear(published_testbed.fresh_client(), generated)
+        assert gear.network_bytes < docker.network_bytes
+
+    def test_gear_beats_docker_at_limited_bandwidth(self, small_corpus):
+        # At high bandwidth the advantage shrinks (§V-E1); assert the win
+        # where pulling dominates.
+        bed = make_testbed(bandwidth_mbps=100)
+        publish_images(bed, small_corpus.images)
+        generated = small_corpus.get("tomcat:v1")
+        docker = deploy_with_docker(bed.fresh_client(), generated)
+        gear = deploy_with_gear(bed.fresh_client(), generated)
+        assert gear.total_s < docker.total_s
+
+    def test_cache_reduces_bytes_on_version_update(
+        self, published_testbed, small_corpus
+    ):
+        bed = published_testbed
+        first = deploy_with_gear(bed, small_corpus.get("tomcat:v1"))
+        second = deploy_with_gear(bed, small_corpus.get("tomcat:v2"))
+        assert second.cache_hits > 0
+        assert second.network_bytes < first.network_bytes
+
+    def test_clear_cache_forces_refetch(self, published_testbed, small_corpus):
+        # The §V-D no-cache scenario: a fresh client whose cache is
+        # emptied before the deployment re-downloads every file.
+        bed = published_testbed
+        deploy_with_gear(bed.fresh_client(), small_corpus.get("nginx:v1"))
+        result = deploy_with_gear(
+            bed.fresh_client(), small_corpus.get("nginx:v1"), clear_cache=True
+        )
+        assert result.files_fetched > 0
+        assert result.cache_hits == 0
+
+    def test_gear_run_longer_than_pull(self, published_testbed, small_corpus):
+        # §V-E: "the pull phase of Gear is shorter … its run time is longer."
+        result = deploy_with_gear(
+            published_testbed.fresh_client(), small_corpus.get("tomcat:v1"),
+            clear_cache=True,
+        )
+        assert result.run_s > result.pull_s
+
+
+class TestSlacker:
+    def test_breakdown(self, published_testbed, small_corpus):
+        driver = SlackerDriver(published_testbed.clock, published_testbed.link)
+        result = deploy_with_slacker(
+            driver, published_testbed, small_corpus.get("nginx:v1")
+        )
+        assert result.system == "slacker"
+        assert result.pull_s < 1.0
+        assert result.network_bytes > 0
+
+    def test_slacker_moves_more_bytes_than_gear(
+        self, published_testbed, small_corpus
+    ):
+        # Blocks travel uncompressed with metadata amplification.
+        generated = small_corpus.get("nginx:v1")
+        gear = deploy_with_gear(
+            published_testbed.fresh_client(), generated, clear_cache=True
+        )
+        driver = SlackerDriver(published_testbed.clock, published_testbed.link)
+        slacker = deploy_with_slacker(driver, published_testbed, generated)
+        assert slacker.network_bytes > gear.network_bytes
+
+
+class TestBandwidthSweep:
+    def test_gear_advantage_grows_as_bandwidth_drops(self, small_corpus):
+        # Fig. 9: speedups 1.4× @904 → 5× @5 Mbps.
+        speedups = []
+        for bandwidth in (100, 5):
+            bed = make_testbed(bandwidth_mbps=bandwidth)
+            publish_images(bed, small_corpus.images)
+            generated = small_corpus.get("tomcat:v1")
+            docker = deploy_with_docker(bed.fresh_client(), generated)
+            gear = deploy_with_gear(bed.fresh_client(), generated)
+            speedups.append(docker.total_s / gear.total_s)
+        assert speedups[1] > speedups[0] > 1.0

@@ -1,0 +1,80 @@
+"""Storage comparison harness (Fig. 7) and analysis modules."""
+
+import pytest
+
+from repro.analysis import compute_dedup_table, category_redundancy, series_redundancy
+from repro.bench.storage import (
+    category_savings,
+    compare_storage,
+    compare_storage_by_series,
+)
+
+
+class TestCompareStorage:
+    def test_gear_saves_space_on_a_version_chain(self, small_corpus):
+        comparison = compare_storage("nginx", small_corpus.by_series["nginx"])
+        assert comparison.docker_bytes > 0
+        assert comparison.gear_bytes < comparison.docker_bytes
+        assert 0 < comparison.saving_fraction < 1
+
+    def test_index_share_is_small(self, small_corpus):
+        comparison = compare_storage("nginx", small_corpus.by_series["nginx"])
+        # "Gear indexes … only occupies 1.1% of total Gear images" (§V-C).
+        assert comparison.index_share < 0.1
+
+    def test_by_series_covers_all(self, small_corpus):
+        by_series = compare_storage_by_series(small_corpus.by_series)
+        assert set(by_series) == set(small_corpus.by_series)
+
+    def test_category_savings_aggregation(self, small_corpus):
+        by_series = compare_storage_by_series(small_corpus.by_series)
+        from repro.workloads.series import SERIES
+
+        savings = category_savings(
+            by_series, {s.name: s.category for s in SERIES}
+        )
+        assert "Web Component" in savings
+        assert 0 < savings["Web Component"] < 1
+
+
+class TestDedupTable:
+    def test_shape_on_small_corpus(self, small_corpus):
+        table = compute_dedup_table(small_corpus.docker_images())
+        rows = table.rows()
+        assert [r[0] for r in rows] == [
+            "No", "Layer-level", "File-level", "Chunk-level",
+        ]
+        storage = [r[1] for r in rows]
+        assert storage[0] >= storage[1] >= storage[2] >= storage[3]
+        objects = [r[2] for r in rows]
+        assert objects[0] <= objects[1] <= objects[2] <= objects[3]
+
+    def test_reductions_and_blowup(self, small_corpus):
+        table = compute_dedup_table(small_corpus.docker_images())
+        reductions = table.reduction_vs_none()
+        assert reductions["layer"] < reductions["file"] <= reductions["chunk"]
+        assert table.chunk_object_blowup >= 1.0
+
+
+class TestRedundancy:
+    def test_series_redundancy_in_unit_interval(self, small_corpus):
+        result = series_redundancy(small_corpus.by_series["tomcat"])
+        assert 0 <= result.redundancy_ratio < 1
+        assert result.total_necessary_bytes >= result.unique_necessary_bytes
+        assert result.series == "tomcat"
+
+    def test_versions_create_redundancy(self, small_corpus):
+        # A single image has no cross-version redundancy; four do.
+        single = series_redundancy(small_corpus.by_series["tomcat"][:1])
+        many = series_redundancy(small_corpus.by_series["tomcat"])
+        assert single.redundancy_ratio == 0.0
+        assert many.redundancy_ratio > 0.1
+
+    def test_category_summary_has_average(self, small_corpus):
+        summary = category_redundancy(small_corpus)
+        assert "Average" in summary
+        assert all(0 <= v < 1 for v in summary.values())
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            series_redundancy([])

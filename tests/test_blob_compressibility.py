@@ -1,0 +1,58 @@
+"""The deterministic compression model."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.blob import Blob, Chunk, chunk_compressed_size, chunk_compressibility
+from repro.blob.compressibility import blob_compressed_size
+
+
+def test_ratio_is_deterministic():
+    assert chunk_compressibility("seed-x") == chunk_compressibility("seed-x")
+
+
+@given(st.text(min_size=1, max_size=30))
+def test_ratio_in_unit_interval(seed):
+    ratio = chunk_compressibility(seed)
+    assert 0.0 < ratio <= 1.0
+
+
+def test_compressed_size_never_exceeds_original():
+    for i in range(100):
+        chunk = Chunk(seed=f"s{i}", size=100_000)
+        assert chunk_compressed_size(chunk) <= chunk.size
+
+
+def test_compressed_size_zero_for_empty():
+    assert chunk_compressed_size(Chunk(seed="s", size=0)) == 0
+
+
+def test_compressed_size_has_floor():
+    chunk = Chunk(seed="s", size=20)
+    assert chunk_compressed_size(chunk) >= 16
+
+
+def test_identical_chunks_compress_identically():
+    a = Chunk(seed="same", size=4096)
+    b = Chunk(seed="same", size=4096)
+    assert chunk_compressed_size(a) == chunk_compressed_size(b)
+
+
+def test_blob_compressed_size_is_chunk_sum():
+    blob = Blob.synthetic("s", 400_000)
+    assert blob_compressed_size(blob) == sum(
+        chunk_compressed_size(c) for c in blob.chunks
+    )
+
+
+def test_population_average_ratio_is_plausible():
+    # The mixture should land in gzip territory for container images
+    # (roughly 2-3x compression on average).
+    sizes = 0
+    compressed = 0
+    for i in range(500):
+        chunk = Chunk(seed=f"pop{i}", size=128 * 1024)
+        sizes += chunk.size
+        compressed += chunk_compressed_size(chunk)
+    ratio = compressed / sizes
+    assert 0.30 < ratio < 0.60

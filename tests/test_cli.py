@@ -1,0 +1,54 @@
+"""CLI smoke tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+SMALL = ["--scale", "0.15", "--versions", "2", "--series", "nginx"]
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_defaults(self):
+        args = build_parser().parse_args(["dedup"])
+        assert args.seed == 7
+        assert args.command == "dedup"
+
+    def test_options_after_subcommand(self):
+        args = build_parser().parse_args(["dedup", "--seed", "3"])
+        assert args.seed == 3
+
+
+class TestCommands:
+    def test_catalog(self, capsys):
+        assert main(["catalog"]) == 0
+        out = capsys.readouterr().out
+        assert "nginx" in out
+        assert "Linux Distro" in out
+
+    def test_demo(self, capsys):
+        assert main(["demo"]) == 0
+        out = capsys.readouterr().out
+        assert "app.gear:v1" in out
+        assert "faulted" in out
+
+    def test_dedup(self, capsys):
+        assert main(["dedup", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "Chunk-level" in out
+
+    def test_storage(self, capsys):
+        assert main(["storage", *SMALL]) == 0
+        out = capsys.readouterr().out
+        assert "saving" in out
+
+    def test_deploy(self, capsys):
+        assert main(["deploy", *SMALL, "--target", "nginx",
+                     "--bandwidth", "50"]) == 0
+        out = capsys.readouterr().out
+        assert "Slacker" in out
+        assert "v2" in out

@@ -1,0 +1,51 @@
+"""Deterministic RNG helpers."""
+
+import pytest
+
+from repro.common.rng import bounded_lognormal, rng_for, weighted_choice
+
+
+def test_rng_for_is_reproducible():
+    a = rng_for("corpus", "nginx")
+    b = rng_for("corpus", "nginx")
+    assert [a.random() for _ in range(5)] == [b.random() for _ in range(5)]
+
+
+def test_rng_for_differs_by_tokens():
+    assert rng_for("a").random() != rng_for("b").random()
+
+
+def test_weighted_choice_respects_support():
+    rng = rng_for("wc")
+    weights = {"x": 1.0, "y": 3.0}
+    picks = {weighted_choice(rng, weights) for _ in range(50)}
+    assert picks <= {"x", "y"}
+    assert "y" in picks  # overwhelmingly likely with weight 3:1 over 50 draws
+
+
+def test_weighted_choice_single_key():
+    rng = rng_for("wc2")
+    assert weighted_choice(rng, {"only": 0.5}) == "only"
+
+
+def test_weighted_choice_rejects_empty_and_nonpositive():
+    rng = rng_for("wc3")
+    with pytest.raises(ValueError):
+        weighted_choice(rng, {})
+    with pytest.raises(ValueError):
+        weighted_choice(rng, {"a": 0.0})
+
+
+def test_bounded_lognormal_respects_bounds():
+    rng = rng_for("ln")
+    for _ in range(200):
+        value = bounded_lognormal(rng, median=1000, sigma=2.0, lo=10, hi=5000)
+        assert 10 <= value <= 5000
+
+
+def test_bounded_lognormal_rejects_bad_bounds():
+    rng = rng_for("ln2")
+    with pytest.raises(ValueError):
+        bounded_lognormal(rng, 100, 1.0, lo=10, hi=5)
+    with pytest.raises(ValueError):
+        bounded_lognormal(rng, -1, 1.0, lo=0, hi=5)

@@ -1,0 +1,150 @@
+"""Daemon: pull, run, commit, push, destroy — the §II-C deployment flow."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import NotFoundError, ReproError
+from repro.docker.builder import ImageBuilder
+from repro.docker.container import ContainerState
+from repro.docker.daemon import DockerDaemon
+from repro.docker.registry import DockerRegistry
+from repro.net.link import Link
+from repro.net.transport import RpcTransport
+
+
+@pytest.fixture
+def env():
+    clock = SimClock()
+    link = Link(clock, bandwidth_mbps=904)
+    transport = RpcTransport(link)
+    registry = DockerRegistry()
+    transport.bind(registry.endpoint())
+    base = ImageBuilder("debian", "v1").add_file("/bin/sh", b"sh" * 500).build()
+    app = (
+        ImageBuilder("nginx", "v1", base=base)
+        .add_file("/etc/nginx.conf", b"conf")
+        .build()
+    )
+    registry.push_image(base)
+    registry.push_image(app)
+    daemon = DockerDaemon(clock, transport)
+    return clock, link, registry, daemon
+
+
+class TestPull:
+    def test_pull_downloads_all_layers(self, env):
+        clock, link, _, daemon = env
+        report = daemon.pull("nginx:v1")
+        assert report.layers_downloaded == 2
+        assert report.layers_reused == 0
+        assert report.bytes_downloaded > 0
+        assert report.duration_s > 0
+        assert daemon.has_image("nginx:v1")
+
+    def test_pull_reuses_local_layers(self, env):
+        _, _, _, daemon = env
+        daemon.pull("debian:v1")
+        report = daemon.pull("nginx:v1")
+        assert report.layers_reused == 1
+        assert report.layers_downloaded == 1
+
+    def test_repeat_pull_is_noop(self, env):
+        _, link, _, daemon = env
+        daemon.pull("nginx:v1")
+        bytes_before = link.log.total_bytes
+        report = daemon.pull("nginx:v1")
+        assert report.already_local
+        assert link.log.total_bytes == bytes_before
+
+    def test_pull_missing_image_raises(self, env):
+        _, _, _, daemon = env
+        with pytest.raises(NotFoundError):
+            daemon.pull("ghost:v1")
+
+    def test_pull_advances_clock_with_bandwidth(self, env):
+        clock, _, _, daemon = env
+        daemon.pull("nginx:v1")
+        assert clock.now > 0
+
+
+class TestRun:
+    def test_run_provides_rootfs(self, env):
+        _, _, _, daemon = env
+        daemon.pull("nginx:v1")
+        container = daemon.run("nginx:v1")
+        assert container.state is ContainerState.RUNNING
+        assert container.mount.read_bytes("/etc/nginx.conf") == b"conf"
+        assert container.mount.read_bytes("/bin/sh") == b"sh" * 500
+
+    def test_run_unpulled_image_fails(self, env):
+        _, _, _, daemon = env
+        with pytest.raises(NotFoundError):
+            daemon.run("nginx:v1")
+
+    def test_container_writes_stay_in_writable_layer(self, env):
+        _, _, _, daemon = env
+        daemon.pull("nginx:v1")
+        first = daemon.run("nginx:v1")
+        first.mount.write_file("/tmp/x", b"private", parents=True)
+        second = daemon.run("nginx:v1")
+        assert not second.mount.exists("/tmp/x")
+
+    def test_destroy_container(self, env):
+        clock, _, _, daemon = env
+        daemon.pull("nginx:v1")
+        container = daemon.run("nginx:v1")
+        before = clock.now
+        teardown = daemon.destroy_container(container)
+        assert teardown > 0
+        assert clock.now == pytest.approx(before + teardown)
+        assert container.state is ContainerState.DELETED
+        assert container not in daemon.containers()
+
+    def test_lifecycle_violations(self, env):
+        _, _, _, daemon = env
+        daemon.pull("nginx:v1")
+        container = daemon.run("nginx:v1")
+        with pytest.raises(ReproError):
+            container.start()
+        with pytest.raises(ReproError):
+            container.delete()
+
+
+class TestCommitPush:
+    def test_commit_adds_layer_with_changes(self, env):
+        _, _, _, daemon = env
+        daemon.pull("nginx:v1")
+        container = daemon.run("nginx:v1")
+        container.mount.write_file("/etc/extra", b"extra")
+        image = daemon.commit(container, "nginx", "custom")
+        assert len(image.layers) == 3
+        assert daemon.has_image("nginx:custom")
+        assert image.flatten().read_bytes("/etc/extra") == b"extra"
+
+    def test_push_only_sends_new_layers(self, env):
+        _, link, registry, daemon = env
+        daemon.pull("nginx:v1")
+        container = daemon.run("nginx:v1")
+        container.mount.write_file("/etc/extra", b"extra")
+        daemon.commit(container, "nginx", "custom")
+        uploaded = daemon.push("nginx:custom")
+        assert uploaded == 1  # only the commit layer
+        assert registry.has_manifest("nginx:custom")
+
+    def test_commit_with_deletion_carries_whiteout(self, env):
+        _, _, registry, daemon = env
+        daemon.pull("nginx:v1")
+        container = daemon.run("nginx:v1")
+        container.mount.remove("/etc/nginx.conf")
+        image = daemon.commit(container, "nginx", "slim")
+        assert not image.flatten().exists("/etc/nginx.conf")
+
+    def test_remove_image_keeps_layers(self, env):
+        _, _, _, daemon = env
+        daemon.pull("nginx:v1")
+        daemon.remove_image("nginx:v1")
+        assert not daemon.has_image("nginx:v1")
+        # Layers stay locally available for reuse.
+        report = daemon.pull("nginx:v1")
+        assert report.layers_downloaded == 0
+        assert report.layers_reused == 2

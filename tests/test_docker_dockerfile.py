@@ -1,0 +1,183 @@
+"""The Dockerfile mini-language."""
+
+import pytest
+
+from repro.docker.builder import ImageBuilder
+from repro.docker.dockerfile import (
+    DockerfileBuilder,
+    DockerfileError,
+    build_from_dockerfile,
+    parse,
+)
+
+
+def base_image():
+    return (
+        ImageBuilder("debian", "v1")
+        .add_file("/bin/sh", b"shell")
+        .with_env(PATH="/bin")
+        .build()
+    )
+
+
+def resolver(reference):
+    assert reference == "debian:v1"
+    return base_image()
+
+
+class TestParse:
+    def test_basic(self):
+        instructions = parse("FROM scratch\nCOPY a /a\n")
+        assert [i.keyword for i in instructions] == ["FROM", "COPY"]
+        assert instructions[1].args == ("a", "/a")
+
+    def test_comments_and_blanks_skipped(self):
+        instructions = parse("# header\n\nFROM scratch\n  # inline-ish\n")
+        assert len(instructions) == 1
+
+    def test_line_continuation(self):
+        instructions = parse("FROM scratch\nENV A=1 \\\n    B=2\n")
+        assert instructions[1].args == ("A=1", "B=2")
+
+    def test_dangling_continuation_rejected(self):
+        with pytest.raises(DockerfileError):
+            parse("FROM scratch\nENV A=1 \\")
+
+    def test_quoted_arguments(self):
+        instructions = parse('FROM scratch\nLABEL note="hello world"\n')
+        assert instructions[1].args == ("note=hello world",)
+
+    def test_keyword_case_insensitive(self):
+        assert parse("from scratch")[0].keyword == "FROM"
+
+
+class TestBuild:
+    def test_scratch_copy_build(self):
+        image = build_from_dockerfile(
+            "FROM scratch\nCOPY app /opt/app\n",
+            "app", "v1",
+            context={"app": b"binary"},
+        )
+        assert image.flatten().read_bytes("/opt/app") == b"binary"
+
+    def test_from_base_stacks_layers(self):
+        text = "FROM debian:v1\nCOPY app /opt/app\n"
+        image = build_from_dockerfile(
+            text, "app", "v1", context={"app": b"x"}, resolve_base=resolver
+        )
+        assert len(image.layers) == 2
+        assert image.layers[0].digest == base_image().layers[0].digest
+
+    def test_base_config_inherited_and_extended(self):
+        text = "FROM debian:v1\nENV MODE=prod\nCOPY app /app\n"
+        image = build_from_dockerfile(
+            text, "app", "v1", context={"app": b"x"}, resolve_base=resolver
+        )
+        assert image.config.env_dict() == {"PATH": "/bin", "MODE": "prod"}
+
+    def test_copy_group_is_one_layer(self):
+        text = "FROM scratch\nCOPY a /a\nCOPY b /b\n"
+        image = build_from_dockerfile(
+            text, "app", "v1", context={"a": b"1", "b": b"2"}
+        )
+        assert len(image.layers) == 1
+
+    def test_run_breaks_layers(self):
+        text = (
+            "FROM scratch\nCOPY a /a\nRUN mkdir -p /data\nCOPY b /b\n"
+        )
+        image = build_from_dockerfile(
+            text, "app", "v1", context={"a": b"1", "b": b"2"}
+        )
+        assert len(image.layers) == 3
+
+    def test_run_rm_produces_whiteout(self):
+        text = "FROM debian:v1\nRUN rm -rf /bin/sh\n"
+        image = build_from_dockerfile(text, "app", "v1", resolve_base=resolver)
+        assert not image.flatten().exists("/bin/sh")
+
+    def test_run_ln_and_touch(self):
+        text = (
+            "FROM scratch\nCOPY bin /usr/bin/tool\n"
+            "RUN ln -s /usr/bin/tool /usr/bin/alias\n"
+            "RUN touch /var/run/ready\n"
+        )
+        image = build_from_dockerfile(
+            text, "app", "v1", context={"bin": b"t"}
+        )
+        tree = image.flatten()
+        assert tree.readlink("/usr/bin/alias") == "/usr/bin/tool"
+        assert tree.read_bytes("/var/run/ready") == b""
+
+    def test_workdir_relative_copy(self):
+        text = "FROM scratch\nWORKDIR /srv/app\nCOPY conf settings.ini\n"
+        image = build_from_dockerfile(
+            text, "app", "v1", context={"conf": b"[x]"}
+        )
+        assert image.flatten().read_bytes("/srv/app/settings.ini") == b"[x]"
+        assert image.config.workdir == "/srv/app"
+
+    def test_entrypoint_cmd_label(self):
+        text = (
+            'FROM scratch\nCOPY a /a\nLABEL team=infra\n'
+            "ENTRYPOINT /a\nCMD --serve\n"
+        )
+        image = build_from_dockerfile(text, "app", "v1", context={"a": b"x"})
+        assert image.config.entrypoint == ("/a",)
+        assert image.config.cmd == ("--serve",)
+        assert dict(image.config.labels) == {"team": "infra"}
+
+
+class TestErrors:
+    def test_must_start_with_from(self):
+        with pytest.raises(DockerfileError):
+            build_from_dockerfile("COPY a /a\n", "x", "v1", context={"a": b""})
+
+    def test_double_from_rejected(self):
+        with pytest.raises(DockerfileError):
+            build_from_dockerfile(
+                "FROM scratch\nCOPY a /a\nFROM scratch\n", "x", "v1",
+                context={"a": b""},
+            )
+
+    def test_missing_context_entry(self):
+        with pytest.raises(DockerfileError):
+            build_from_dockerfile("FROM scratch\nCOPY nope /n\n", "x", "v1")
+
+    def test_unknown_instruction(self):
+        with pytest.raises(DockerfileError):
+            build_from_dockerfile("FROM scratch\nEXPOSE 80\n", "x", "v1")
+
+    def test_unsupported_run_command(self):
+        with pytest.raises(DockerfileError):
+            build_from_dockerfile(
+                "FROM scratch\nRUN apt-get install nginx\n", "x", "v1"
+            )
+
+    def test_from_without_resolver(self):
+        with pytest.raises(DockerfileError):
+            build_from_dockerfile("FROM debian:v1\n", "x", "v1")
+
+    def test_bad_env_pair(self):
+        with pytest.raises(DockerfileError):
+            build_from_dockerfile("FROM scratch\nENV NOVALUE\n", "x", "v1")
+
+
+class TestGearInterop:
+    def test_dockerfile_image_converts_to_gear(self):
+        from repro.common.clock import SimClock
+        from repro.docker.registry import DockerRegistry
+        from repro.gear.converter import GearConverter
+        from repro.gear.registry import GearRegistry
+
+        image = build_from_dockerfile(
+            "FROM scratch\nCOPY app /opt/app\nENV MODE=x\n",
+            "built", "v1", context={"app": b"binary" * 100},
+        )
+        clock = SimClock()
+        docker_registry = DockerRegistry()
+        docker_registry.push_image(image)
+        converter = GearConverter(clock, docker_registry, GearRegistry())
+        index, report = converter.convert("built:v1")
+        assert report.file_count == 1
+        assert index.config.env_dict()["MODE"] == "x"

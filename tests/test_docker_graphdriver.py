@@ -1,0 +1,107 @@
+"""Overlay2 graph driver: layer store and mount construction."""
+
+import pytest
+
+from repro.common.errors import NotFoundError
+from repro.docker.builder import ImageBuilder, layer_from_files
+from repro.docker.graphdriver import Overlay2Driver
+
+
+def make_image():
+    base = ImageBuilder("base", "v1").add_file("/low", b"low").build()
+    return (
+        ImageBuilder("app", "v1", base=base)
+        .add_file("/high", b"high")
+        .build()
+    )
+
+
+class TestLayerStore:
+    def test_register_and_lookup(self):
+        driver = Overlay2Driver()
+        layer = layer_from_files([("/a", b"x")])
+        assert driver.register_layer(layer)
+        assert driver.has_layer(layer.digest)
+        assert driver.get_layer(layer.digest) is layer
+
+    def test_register_is_idempotent(self):
+        driver = Overlay2Driver()
+        layer = layer_from_files([("/a", b"x")])
+        driver.register_layer(layer)
+        assert not driver.register_layer(layer)
+        assert driver.layer_count == 1
+
+    def test_missing_layer_raises(self):
+        driver = Overlay2Driver()
+        layer = layer_from_files([("/a", b"x")])
+        with pytest.raises(NotFoundError):
+            driver.get_layer(layer.digest)
+        with pytest.raises(NotFoundError):
+            driver.diff_tree(layer.digest)
+
+    def test_remove_layer(self):
+        driver = Overlay2Driver()
+        layer = layer_from_files([("/a", b"x")])
+        driver.register_layer(layer)
+        driver.remove_layer(layer.digest)
+        assert not driver.has_layer(layer.digest)
+        with pytest.raises(NotFoundError):
+            driver.remove_layer(layer.digest)
+
+    def test_stored_bytes(self):
+        driver = Overlay2Driver()
+        layer = layer_from_files([("/a", b"x" * 100)])
+        driver.register_layer(layer)
+        assert driver.stored_bytes == layer.uncompressed_size
+
+    def test_missing_layers_of_image(self):
+        driver = Overlay2Driver()
+        image = make_image()
+        assert len(driver.missing_layers(image)) == 2
+        driver.register_layer(image.layers[0])
+        missing = driver.missing_layers(image)
+        assert [l.digest for l in missing] == [image.layers[1].digest]
+
+
+class TestMount:
+    def test_mount_requires_all_layers(self):
+        driver = Overlay2Driver()
+        image = make_image()
+        with pytest.raises(NotFoundError):
+            driver.mount(image)
+
+    def test_mount_merges_layers_top_first(self):
+        driver = Overlay2Driver()
+        image = make_image()
+        for layer in image.layers:
+            driver.register_layer(layer)
+        mount = driver.mount(image)
+        assert mount.read_bytes("/low") == b"low"
+        assert mount.read_bytes("/high") == b"high"
+        assert driver.mounts_created == 1
+
+    def test_mounts_share_diff_trees(self):
+        driver = Overlay2Driver()
+        image = make_image()
+        for layer in image.layers:
+            driver.register_layer(layer)
+        a = driver.mount(image)
+        b = driver.mount(image)
+        assert a.lowers[0] is b.lowers[0]
+
+    def test_mount_lowers_are_read_only(self):
+        driver = Overlay2Driver()
+        image = make_image()
+        for layer in image.layers:
+            driver.register_layer(layer)
+        mount = driver.mount(image)
+        assert all(lower.read_only for lower in mount.lowers)
+
+    def test_whiteout_layer_hides_lower_in_mount(self):
+        base = ImageBuilder("base", "v1").add_file("/doomed", b"x").build()
+        removing = ImageBuilder("app", "v1", base=base).remove("/doomed").build()
+        driver = Overlay2Driver()
+        for layer in removing.layers:
+            driver.register_layer(layer)
+        mount = driver.mount(removing)
+        assert not mount.exists("/doomed")

@@ -1,0 +1,43 @@
+"""Example scripts stay runnable (the fast ones, end to end)."""
+
+import importlib.util
+import pathlib
+import sys
+
+import pytest
+
+EXAMPLES_DIR = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def load_example(name):
+    path = EXAMPLES_DIR / name
+    spec = importlib.util.spec_from_file_location(name.removesuffix(".py"), path)
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestExampleScripts:
+    def test_examples_exist(self):
+        names = {path.name for path in EXAMPLES_DIR.glob("*.py")}
+        assert {
+            "quickstart.py",
+            "serverless_cold_start.py",
+            "ci_cd_rolling_updates.py",
+            "registry_operator_report.py",
+            "edge_node_day.py",
+        } <= names
+
+    def test_quickstart_runs_end_to_end(self, capsys):
+        module = load_example("quickstart.py")
+        module.main()
+        out = capsys.readouterr().out
+        assert "converted" in out
+        assert "deployed" in out
+        assert "second container read config with 0 new network bytes" in out
+
+    def test_every_example_has_a_main_and_docstring(self):
+        for path in sorted(EXAMPLES_DIR.glob("*.py")):
+            module = load_example(path.name)
+            assert callable(getattr(module, "main", None)), path.name
+            assert module.__doc__ and module.__doc__.strip(), path.name

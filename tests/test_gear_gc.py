@@ -1,0 +1,100 @@
+"""Registry garbage collection: mark-and-sweep of unreferenced Gear files."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.docker.builder import ImageBuilder
+from repro.docker.registry import DockerRegistry
+from repro.gear.converter import GearConverter
+from repro.gear.gc import collect_garbage, live_identities
+from repro.gear.registry import GearRegistry
+
+
+@pytest.fixture
+def env():
+    clock = SimClock()
+    docker_registry = DockerRegistry()
+    gear_registry = GearRegistry()
+    converter = GearConverter(clock, docker_registry, gear_registry)
+    shared = ImageBuilder("shared", "v1").add_file("/common", b"same" * 500).build()
+    only_a = (
+        ImageBuilder("aaa", "v1", base=shared)
+        .add_file("/a-only", b"aaa" * 500)
+        .build()
+    )
+    only_b = (
+        ImageBuilder("bbb", "v1", base=shared)
+        .add_file("/b-only", b"bbb" * 500)
+        .build()
+    )
+    docker_registry.push_image(only_a)
+    docker_registry.push_image(only_b)
+    converter.convert("aaa:v1")
+    converter.convert("bbb:v1")
+    return docker_registry, gear_registry
+
+
+class TestMark:
+    def test_live_set_covers_all_entries(self, env):
+        docker_registry, gear_registry = env
+        live = live_identities(docker_registry)
+        assert live == set(gear_registry.identities())
+
+    def test_regular_images_do_not_mark(self, env):
+        docker_registry, _ = env
+        # The original (non-index) manifests contribute nothing.
+        extra = ImageBuilder("plain", "v1").add_file("/x", b"y").build()
+        docker_registry.push_image(extra)
+        before = live_identities(docker_registry)
+        assert extra.layers[0].digest not in before
+
+
+class TestSweep:
+    def test_nothing_collected_while_all_referenced(self, env):
+        docker_registry, gear_registry = env
+        report = collect_garbage(docker_registry, gear_registry)
+        assert report.deleted_files == 0
+        assert report.indexes_scanned == 2
+
+    def test_deleting_one_index_frees_only_its_private_files(self, env):
+        docker_registry, gear_registry = env
+        files_before = gear_registry.file_count
+        docker_registry.delete_manifest("aaa.gear:v1")
+        report = collect_garbage(docker_registry, gear_registry)
+        # /a-only is unreferenced; /common is still used by bbb.
+        assert report.deleted_files == 1
+        assert gear_registry.file_count == files_before - 1
+        assert report.deleted_bytes > 0
+
+    def test_deleting_all_indexes_frees_everything(self, env):
+        docker_registry, gear_registry = env
+        docker_registry.delete_manifest("aaa.gear:v1")
+        docker_registry.delete_manifest("bbb.gear:v1")
+        report = collect_garbage(docker_registry, gear_registry)
+        assert gear_registry.file_count == 0
+        assert report.live_files == 0
+        assert report.deleted_files == 3
+
+    def test_dry_run_deletes_nothing(self, env):
+        docker_registry, gear_registry = env
+        docker_registry.delete_manifest("aaa.gear:v1")
+        before = gear_registry.file_count
+        report = collect_garbage(docker_registry, gear_registry, dry_run=True)
+        assert report.deleted_files == 1
+        assert gear_registry.file_count == before
+
+    def test_gc_is_idempotent(self, env):
+        docker_registry, gear_registry = env
+        docker_registry.delete_manifest("aaa.gear:v1")
+        collect_garbage(docker_registry, gear_registry)
+        second = collect_garbage(docker_registry, gear_registry)
+        assert second.deleted_files == 0
+
+    def test_survivors_still_deployable(self, env):
+        docker_registry, gear_registry = env
+        docker_registry.delete_manifest("aaa.gear:v1")
+        collect_garbage(docker_registry, gear_registry)
+        # bbb still resolves every entry it references.
+        live = live_identities(docker_registry)
+        for identity in live:
+            assert gear_registry.query(identity)

@@ -1,0 +1,136 @@
+"""The level-1 shared cache: content addressing, pinning, FIFO/LRU."""
+
+import pytest
+
+from repro.blob import Blob
+from repro.common.errors import StorageError
+from repro.gear.gearfile import GearFile
+from repro.gear.pool import EvictionPolicy, SharedFilePool
+
+
+def gf(tag: str, size: int = 1000):
+    return GearFile.from_blob(Blob.synthetic(tag, size))
+
+
+class TestBasics:
+    def test_insert_and_get(self):
+        pool = SharedFilePool()
+        inode = pool.insert(gf("a"))
+        assert pool.get(gf("a").identity) is inode
+        assert pool.hits == 1
+
+    def test_miss_counts(self):
+        pool = SharedFilePool()
+        assert pool.get("missing") is None
+        assert pool.misses == 1
+
+    def test_content_addressing_never_duplicates(self):
+        pool = SharedFilePool()
+        first = pool.insert(gf("a"))
+        second = pool.insert(gf("a"))
+        assert first is second
+        assert pool.file_count == 1
+
+    def test_used_bytes(self):
+        pool = SharedFilePool()
+        pool.insert(gf("a", 500))
+        pool.insert(gf("b", 300))
+        assert pool.used_bytes == 800
+
+    def test_contains_has_no_stat_side_effects(self):
+        pool = SharedFilePool()
+        pool.insert(gf("a"))
+        assert pool.contains(gf("a").identity)
+        assert not pool.contains("zzz")
+        assert pool.hits == 0 and pool.misses == 0
+
+    def test_clear(self):
+        pool = SharedFilePool()
+        pool.insert(gf("a"))
+        pool.clear()
+        assert pool.file_count == 0
+        assert pool.used_bytes == 0
+
+    def test_hit_ratio(self):
+        pool = SharedFilePool()
+        pool.insert(gf("a"))
+        pool.get(gf("a").identity)
+        pool.get("missing")
+        assert pool.hit_ratio == pytest.approx(0.5)
+
+
+class TestEviction:
+    def test_fifo_evicts_oldest_unpinned(self):
+        pool = SharedFilePool(capacity_bytes=2500, policy=EvictionPolicy.FIFO)
+        pool.insert(gf("a", 1000))
+        pool.insert(gf("b", 1000))
+        pool.get(gf("a", 1000).identity)  # FIFO ignores recency
+        pool.insert(gf("c", 1000))
+        assert not pool.contains(gf("a").identity)
+        assert pool.contains(gf("b").identity)
+        assert pool.evictions == 1
+
+    def test_lru_prefers_recent(self):
+        pool = SharedFilePool(capacity_bytes=2500, policy=EvictionPolicy.LRU)
+        pool.insert(gf("a", 1000))
+        pool.insert(gf("b", 1000))
+        pool.get(gf("a", 1000).identity)  # refresh a
+        pool.insert(gf("c", 1000))
+        assert pool.contains(gf("a").identity)
+        assert not pool.contains(gf("b").identity)
+
+    def test_pinned_files_survive(self):
+        # "Files that are not linked to Gear indexes are candidates for
+        # replacement" — linked inodes (nlink > 1) are pinned.
+        pool = SharedFilePool(capacity_bytes=2500)
+        pinned = pool.insert(gf("a", 1000))
+        pinned.nlink += 1  # a Gear index links it
+        pool.insert(gf("b", 1000))
+        pool.insert(gf("c", 1000))
+        assert pool.contains(gf("a").identity)
+        assert not pool.contains(gf("b").identity)
+
+    def test_all_pinned_exceeds_capacity_gracefully(self):
+        pool = SharedFilePool(capacity_bytes=2000)
+        for tag in ("a", "b"):
+            inode = pool.insert(gf(tag, 1000))
+            inode.nlink += 1
+        pool.insert(gf("c", 1000))
+        assert pool.used_bytes == 3000
+        assert pool.eviction_failures == 1
+
+    def test_oversized_file_accepted_with_overflow(self):
+        # A file larger than the whole cache must still be served (a
+        # container read depends on it); the pool evicts what it can and
+        # records the pressure failure.
+        pool = SharedFilePool(capacity_bytes=100)
+        pool.insert(gf("small", 50))
+        inode = pool.insert(gf("huge", 1000))
+        assert inode.size == 1000
+        assert pool.used_bytes == 1000  # small was evicted, huge overflows
+        assert pool.eviction_failures == 1
+
+    def test_unbounded_pool_never_evicts(self):
+        pool = SharedFilePool()
+        for index in range(50):
+            pool.insert(gf(f"f{index}", 10_000))
+        assert pool.evictions == 0
+        assert pool.file_count == 50
+
+    def test_drop_is_administrative(self):
+        pool = SharedFilePool()
+        pool.insert(gf("a"))
+        pool.drop(gf("a").identity)
+        assert not pool.contains(gf("a").identity)
+        assert pool.evictions == 0
+
+    def test_negative_capacity_rejected(self):
+        with pytest.raises(StorageError):
+            SharedFilePool(capacity_bytes=-1)
+
+    def test_reset_stats(self):
+        pool = SharedFilePool()
+        pool.insert(gf("a"))
+        pool.get(gf("a").identity)
+        pool.reset_stats()
+        assert pool.hits == 0

@@ -1,0 +1,136 @@
+"""Trace-driven prefetching extension."""
+
+import pytest
+
+from repro.bench.environment import make_testbed, publish_images
+from repro.bench.deploy import deploy_with_gear
+from repro.gear.prefetch import Prefetcher, StartupProfile, TraceRecorder
+
+
+@pytest.fixture
+def env(small_corpus):
+    testbed = make_testbed(bandwidth_mbps=100)
+    publish_images(testbed, small_corpus.images, convert=True)
+    return testbed, small_corpus
+
+
+def deploy_and_run(testbed, corpus, reference="nginx:v1"):
+    generated = corpus.get(reference)
+    deploy_with_gear(testbed, generated)
+    return testbed.gear_driver.containers()[-1], generated
+
+
+class TestRecorder:
+    def test_record_captures_touched_files(self, env):
+        testbed, corpus = env
+        container, generated = deploy_and_run(testbed, corpus)
+        recorder = TraceRecorder()
+        profile = recorder.record("nginx.gear:v1", container.mount)
+        assert profile.entries  # the startup task touched files
+        touched_paths = {path for path, _ in profile.entries}
+        assert touched_paths <= set(
+            container.mount.index.entries
+        )
+        assert recorder.profile_for("nginx.gear:v1") is profile
+        assert len(recorder) == 1
+
+    def test_profile_matches_trace_set(self, env):
+        testbed, corpus = env
+        container, generated = deploy_and_run(testbed, corpus)
+        profile = TraceRecorder().record("nginx.gear:v1", container.mount)
+        # Every profiled file must have been in the startup trace (the
+        # task is the only reader).
+        trace_paths = set(generated.trace.paths)
+        for path, _ in profile.entries:
+            assert path in trace_paths
+
+    def test_head_by_bytes(self):
+        profile = StartupProfile(
+            reference="r", entries=(("/a", 100), ("/b", 200), ("/c", 300))
+        )
+        assert profile.head_by_bytes(250).entries == (("/a", 100),)
+        assert profile.head_by_bytes(300).entries == (("/a", 100), ("/b", 200))
+        # Budget smaller than the first entry still returns one entry.
+        assert profile.head_by_bytes(1).entries == (("/a", 100),)
+
+
+class TestPrefetcher:
+    def test_prefetch_eliminates_demand_fetches(self, env):
+        testbed, corpus = env
+        container, _ = deploy_and_run(testbed, corpus)
+        recorder = TraceRecorder()
+        recorder.record("nginx.gear:v1", container.mount)
+
+        # A brand new client prefetches before running.
+        fresh = testbed.fresh_client()
+        fresh.gear_driver.pull_index("nginx.gear:v1")
+        new_container = fresh.gear_driver.create_container("nginx.gear:v1")
+        report = Prefetcher(recorder).prefetch(
+            "nginx.gear:v1", new_container.mount
+        )
+        assert report.files_prefetched > 0
+
+        fetches_before = new_container.mount.fault_stats.remote_fetches
+        for path, _ in corpus.get("nginx:v1").trace.accesses:
+            new_container.mount.read_blob(path)
+        assert (
+            new_container.mount.fault_stats.remote_fetches == fetches_before
+        )
+
+    def test_prefetch_without_profile_is_noop(self, env):
+        testbed, corpus = env
+        testbed.gear_driver.pull_index("nginx.gear:v1")
+        container = testbed.gear_driver.create_container("nginx.gear:v1")
+        report = Prefetcher(TraceRecorder()).prefetch(
+            "nginx.gear:v1", container.mount
+        )
+        assert report.files_prefetched == 0
+
+    def test_byte_budget_caps_prefetch(self, env):
+        testbed, corpus = env
+        container, _ = deploy_and_run(testbed, corpus)
+        recorder = TraceRecorder()
+        profile = recorder.record("nginx.gear:v1", container.mount)
+
+        fresh = testbed.fresh_client()
+        fresh.gear_driver.pull_index("nginx.gear:v1")
+        new_container = fresh.gear_driver.create_container("nginx.gear:v1")
+        budget = profile.total_bytes // 4
+        report = Prefetcher(recorder).prefetch(
+            "nginx.gear:v1", new_container.mount, byte_budget=budget
+        )
+        assert 0 < report.files_prefetched < len(profile.entries)
+
+    def test_prefetch_into_warm_cache_counts_hits(self, env):
+        testbed, corpus = env
+        container, _ = deploy_and_run(testbed, corpus)
+        recorder = TraceRecorder()
+        recorder.record("nginx.gear:v1", container.mount)
+        # Same driver (shared pool): prefetch should be all cache hits.
+        second = testbed.gear_driver.create_container("nginx.gear:v1")
+        report = Prefetcher(recorder).prefetch("nginx.gear:v1", second.mount)
+        # Files already linked into the shared index are not re-faulted;
+        # anything faulted must have come from the pool, not the network.
+        assert second.mount.fault_stats.remote_fetches == 0
+
+
+class TestSharingAnalysis:
+    def test_sharing_stats_over_series(self, small_corpus):
+        from repro.analysis.sharing import deployment_sharing
+
+        stats = deployment_sharing(small_corpus.by_series["tomcat"])
+        assert stats.deployments == 4
+        assert 0 < stats.common_file_fraction < 1
+        assert stats.common_bytes <= stats.accessed_bytes
+
+    def test_single_deployment_has_no_sharing(self, small_corpus):
+        from repro.analysis.sharing import deployment_sharing
+
+        stats = deployment_sharing(small_corpus.by_series["tomcat"][:1])
+        assert stats.common_files == 0
+
+    def test_per_series_helper(self, small_corpus):
+        from repro.analysis.sharing import per_series_sharing
+
+        by_series = per_series_sharing(small_corpus.by_series)
+        assert set(by_series) == set(small_corpus.by_series)

@@ -1,0 +1,120 @@
+"""Link and RPC transport cost accounting."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.common.errors import TransportError
+from repro.net.link import Link, lan_link
+from repro.net.transport import RpcEndpoint, RpcTransport
+
+
+class TestLink:
+    def test_transfer_time_formula(self):
+        clock = SimClock()
+        link = Link(clock, bandwidth_mbps=8, rtt_s=0.001, request_overhead_s=0.002)
+        # 8 Mbps = 1e6 bytes/s; 1e6 bytes -> 1 s payload + 3 ms fixed.
+        assert link.transfer_time(1_000_000) == pytest.approx(1.003)
+
+    def test_transfer_advances_clock_and_logs(self):
+        clock = SimClock()
+        link = Link(clock, bandwidth_mbps=8)
+        duration = link.transfer(500_000, label="x")
+        assert clock.now == pytest.approx(duration)
+        assert link.log.total_bytes == 500_000
+        assert link.log.total_requests == 1
+
+    def test_zero_payload_request(self):
+        clock = SimClock()
+        link = Link(clock)
+        link.request()
+        assert clock.now > 0
+        assert link.log.total_bytes == 0
+
+    def test_rejects_bad_parameters(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            Link(clock, bandwidth_mbps=0)
+        with pytest.raises(ValueError):
+            Link(clock, rtt_s=-1)
+        with pytest.raises(ValueError):
+            Link(clock).transfer(-1)
+
+    def test_lower_bandwidth_is_slower(self):
+        clock = SimClock()
+        fast = Link(clock, bandwidth_mbps=904)
+        slow = fast.with_bandwidth(5)
+        assert slow.transfer_time(10_000_000) > fast.transfer_time(10_000_000)
+        assert slow.clock is clock
+
+    def test_lan_link_default(self):
+        link = lan_link(SimClock())
+        assert link.bandwidth_mbps == 904
+
+    def test_log_clear(self):
+        clock = SimClock()
+        link = Link(clock)
+        link.transfer(100)
+        link.log.clear()
+        assert link.log.total_requests == 0
+
+
+class TestTransport:
+    def make(self):
+        clock = SimClock()
+        link = Link(clock, bandwidth_mbps=8)
+        transport = RpcTransport(link)
+        endpoint = RpcEndpoint("svc")
+        endpoint.register("echo", lambda value: (value, 1000))
+        endpoint.register("free", lambda: (None, 0))
+        transport.bind(endpoint)
+        return clock, link, transport, endpoint
+
+    def test_call_returns_handler_result(self):
+        _, _, transport, _ = self.make()
+        assert transport.call("svc", "echo", 42) == 42
+
+    def test_call_charges_request_and_response(self):
+        clock, link, transport, _ = self.make()
+        transport.call("svc", "echo", 1)
+        # Request frame (256 B) + response (1000 B), two transfers.
+        assert link.log.total_requests == 2
+        assert link.log.total_bytes == 256 + 1000
+
+    def test_zero_byte_response_skips_transfer(self):
+        _, link, transport, _ = self.make()
+        transport.call("svc", "free")
+        assert link.log.total_requests == 1
+
+    def test_upload_payload_charged_on_request(self):
+        _, link, transport, _ = self.make()
+        transport.call("svc", "free", request_payload_bytes=5000)
+        assert link.log.total_bytes == 256 + 5000
+
+    def test_stats_accumulate(self):
+        _, _, transport, endpoint = self.make()
+        transport.call("svc", "echo", 1)
+        transport.call("svc", "echo", 2)
+        assert endpoint.stats.calls == 2
+        assert endpoint.stats.response_bytes == 2000
+
+    def test_unknown_endpoint_and_method(self):
+        _, _, transport, endpoint = self.make()
+        with pytest.raises(TransportError):
+            transport.call("nope", "echo", 1)
+        with pytest.raises(TransportError):
+            transport.call("svc", "nope")
+
+    def test_duplicate_binding_rejected(self):
+        _, _, transport, _ = self.make()
+        with pytest.raises(TransportError):
+            transport.bind(RpcEndpoint("svc"))
+
+    def test_duplicate_method_rejected(self):
+        endpoint = RpcEndpoint("e")
+        endpoint.register("m", lambda: (None, 0))
+        with pytest.raises(TransportError):
+            endpoint.register("m", lambda: (None, 0))
+
+    def test_methods_listing(self):
+        _, _, _, endpoint = self.make()
+        assert endpoint.methods() == ("echo", "free")

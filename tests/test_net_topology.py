@@ -1,0 +1,85 @@
+"""Cluster topology: shared registry serving many client nodes."""
+
+import pytest
+
+from repro.bench.deploy import deploy_with_docker, deploy_with_gear
+from repro.bench.environment import publish_images
+from repro.net.topology import Cluster
+
+
+@pytest.fixture
+def cluster(small_corpus):
+    cluster = Cluster(3, bandwidth_mbps=100)
+    publish_images(cluster.registry_testbed, small_corpus.images, convert=True)
+    return cluster
+
+
+class TestClusterAssembly:
+    def test_node_count_and_names(self, cluster):
+        assert len(cluster.nodes) == 3
+        assert cluster.nodes[0].name == "node-000"
+
+    def test_rejects_empty_cluster(self):
+        with pytest.raises(ValueError):
+            Cluster(0)
+
+    def test_nodes_share_registries_not_caches(self, cluster):
+        testbeds = [node.testbed for node in cluster.nodes]
+        assert (
+            testbeds[0].docker_registry is testbeds[1].docker_registry
+        )
+        assert testbeds[0].gear_driver.pool is not testbeds[1].gear_driver.pool
+
+    def test_shared_clock(self, cluster):
+        assert all(
+            node.testbed.clock is cluster.clock for node in cluster.nodes
+        )
+
+
+class TestFleetDeployment:
+    def test_every_node_pays_its_own_downloads(self, cluster, small_corpus):
+        generated = small_corpus.get("nginx:v1")
+        per_node = cluster.each_node(
+            lambda node: deploy_with_gear(node.testbed, generated) and None
+        )
+        assert len(per_node) == 3
+        assert all(volume > 0 for volume in per_node.values())
+
+    def test_registry_egress_accumulates(self, cluster, small_corpus):
+        generated = small_corpus.get("nginx:v1")
+        before = cluster.registry_egress_bytes
+        cluster.each_node(
+            lambda node: deploy_with_docker(node.testbed, generated) and None
+        )
+        assert cluster.registry_egress_bytes > before
+
+    def test_gear_fleet_uses_less_registry_capacity(self, small_corpus):
+        generated = small_corpus.get("tomcat:v1")
+
+        docker_cluster = Cluster(3, bandwidth_mbps=100)
+        publish_images(
+            docker_cluster.registry_testbed, small_corpus.images, convert=True
+        )
+        docker_cluster.each_node(
+            lambda node: deploy_with_docker(node.testbed, generated) and None
+        )
+
+        gear_cluster = Cluster(3, bandwidth_mbps=100)
+        publish_images(
+            gear_cluster.registry_testbed, small_corpus.images, convert=True
+        )
+        gear_cluster.each_node(
+            lambda node: deploy_with_gear(node.testbed, generated) and None
+        )
+
+        # Publishing traffic is in-process; the deployment egress is what
+        # differs — Gear's is a fraction of Docker's, so the registry
+        # uplink stays free for more nodes.
+        assert (
+            gear_cluster.registry_egress_bytes
+            < docker_cluster.registry_egress_bytes * 0.6
+        )
+        assert (
+            gear_cluster.registry_busy_seconds()
+            < docker_cluster.registry_busy_seconds() * 0.6
+        )

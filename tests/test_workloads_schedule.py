@@ -1,0 +1,95 @@
+"""Deployment schedule generation."""
+
+import pytest
+
+from repro.workloads.schedule import ScheduleBuilder, zipf_weights
+
+
+class TestZipf:
+    def test_weights_decrease(self):
+        weights = zipf_weights(5, skew=1.0)
+        assert weights == sorted(weights, reverse=True)
+        assert weights[0] == 1.0
+
+    def test_zero_skew_is_uniform(self):
+        assert zipf_weights(4, skew=0.0) == [1.0] * 4
+
+    def test_rejects_bad_inputs(self):
+        with pytest.raises(ValueError):
+            zipf_weights(0)
+        with pytest.raises(ValueError):
+            zipf_weights(3, skew=-1)
+
+
+class TestPopularityStream:
+    def test_deterministic(self, small_corpus):
+        builder = ScheduleBuilder(small_corpus)
+        a = builder.popularity_stream(25)
+        b = builder.popularity_stream(25)
+        assert [event.image.reference for event in a] == [
+            event.image.reference for event in b
+        ]
+
+    def test_length_and_positions(self, small_corpus):
+        schedule = ScheduleBuilder(small_corpus).popularity_stream(10)
+        assert len(schedule) == 10
+        assert [event.position for event in schedule] == list(range(10))
+
+    def test_repeats_marked_correctly(self, small_corpus):
+        schedule = ScheduleBuilder(small_corpus).popularity_stream(40)
+        seen = set()
+        for event in schedule:
+            assert event.is_repeat == (event.image.reference in seen)
+            seen.add(event.image.reference)
+
+    def test_popular_series_dominate(self, small_corpus):
+        schedule = ScheduleBuilder(small_corpus).popularity_stream(
+            200, skew=1.5
+        )
+        counts = {}
+        for event in schedule:
+            counts[event.image.spec.name] = (
+                counts.get(event.image.spec.name, 0) + 1
+            )
+        top = max(counts.values())
+        assert top > 200 / len(small_corpus.by_series)  # skewed, not uniform
+
+    def test_version_drift_moves_forward_only(self, small_corpus):
+        schedule = ScheduleBuilder(small_corpus).popularity_stream(
+            100, version_drift=0.5
+        )
+        last_seen = {}
+        for event in schedule:
+            name = event.image.spec.name
+            if name in last_seen:
+                assert event.image.tag_index >= last_seen[name]
+            last_seen[name] = event.image.tag_index
+
+    def test_zero_length(self, small_corpus):
+        builder = ScheduleBuilder(small_corpus)
+        assert builder.popularity_stream(0) == []
+        assert builder.repeat_rate([]) == 0.0
+
+    def test_negative_length_rejected(self, small_corpus):
+        with pytest.raises(ValueError):
+            ScheduleBuilder(small_corpus).popularity_stream(-1)
+
+
+class TestRollingUpdates:
+    def test_all_versions_in_order(self, small_corpus):
+        schedule = ScheduleBuilder(small_corpus).rolling_update_stream("nginx")
+        assert [event.image.tag for event in schedule] == [
+            "v1", "v2", "v3", "v4",
+        ]
+        assert not any(event.is_repeat for event in schedule)
+
+    def test_unknown_series_rejected(self, small_corpus):
+        with pytest.raises(KeyError):
+            ScheduleBuilder(small_corpus).rolling_update_stream("ghost")
+
+    def test_repeat_rate(self, small_corpus):
+        builder = ScheduleBuilder(small_corpus)
+        schedule = builder.popularity_stream(50)
+        rate = builder.repeat_rate(schedule)
+        distinct = len({event.image.reference for event in schedule})
+        assert rate == pytest.approx(1 - distinct / 50)
