@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Repo health gate: tier-1 tests, warnings-as-errors on the fault-injection
+# suite, and a full bytecode compile of the source tree.
+#
+# Usage: sh scripts/check.sh   (from the repo root)
+set -eu
+
+cd "$(dirname "$0")/.."
+export PYTHONPATH=src
+
+echo "== tier-1 test suite =="
+python -m pytest -x -q
+
+echo "== fault-injection suite under -W error =="
+python -W error -m pytest tests/test_net_faults.py -q
+
+echo "== compileall src =="
+python -m compileall -q src
+
+echo "all checks passed"

@@ -14,6 +14,7 @@ from typing import Optional
 
 from repro.baselines.slacker import SlackerDriver
 from repro.bench.environment import Testbed
+from repro.common.errors import TransportError
 from repro.workloads.corpus import GeneratedImage
 from repro.workloads.tasks import task_for_category
 
@@ -30,10 +31,28 @@ class DeploymentResult:
     network_requests: int
     files_fetched: int
     cache_hits: int
+    #: Resilience accounting (nonzero only under a fault plan).
+    retries: int = 0
+    errors: int = 0
+    degraded: bool = False
 
     @property
     def total_s(self) -> float:
         return self.pull_s + self.run_s
+
+
+def _endpoint_stats(testbed: Testbed, *names: str):
+    """Snapshot (retries, errors) summed across the named endpoints."""
+    retries = 0
+    errors = 0
+    for name in names:
+        try:
+            stats = testbed.transport.endpoint(name).stats
+        except TransportError:
+            continue
+        retries += stats.retries
+        errors += stats.errors
+    return retries, errors
 
 
 def deploy_with_docker(
@@ -43,6 +62,7 @@ def deploy_with_docker(
     link_log = testbed.link.log
     bytes_before = link_log.total_bytes
     requests_before = link_log.total_requests
+    retries_before, errors_before = _endpoint_stats(testbed, "docker-registry")
 
     pull_timer = testbed.clock.timer()
     report = testbed.daemon.pull(generated.reference)
@@ -55,6 +75,7 @@ def deploy_with_docker(
     run_s = run_timer.elapsed()
     if destroy:
         testbed.daemon.destroy_container(container)
+    retries_after, errors_after = _endpoint_stats(testbed, "docker-registry")
 
     return DeploymentResult(
         system="docker",
@@ -65,6 +86,8 @@ def deploy_with_docker(
         network_requests=link_log.total_requests - requests_before,
         files_fetched=report.layers_downloaded,
         cache_hits=report.layers_reused,
+        retries=retries_after - retries_before,
+        errors=errors_after - errors_before,
     )
 
 
@@ -87,9 +110,12 @@ def deploy_with_gear(
     link_log = testbed.link.log
     bytes_before = link_log.total_bytes
     requests_before = link_log.total_requests
+    retries_before, errors_before = _endpoint_stats(
+        testbed, "docker-registry", "gear-registry"
+    )
 
     pull_timer = testbed.clock.timer()
-    testbed.gear_driver.pull_index(reference)
+    deploy_report = testbed.gear_driver.pull_index(reference)
     pull_s = pull_timer.elapsed()
 
     run_timer = testbed.clock.timer()
@@ -101,6 +127,9 @@ def deploy_with_gear(
     stats = container.mount.fault_stats
     if destroy:
         testbed.gear_driver.destroy_container(container)
+    retries_after, errors_after = _endpoint_stats(
+        testbed, "docker-registry", "gear-registry"
+    )
 
     return DeploymentResult(
         system="gear",
@@ -111,6 +140,9 @@ def deploy_with_gear(
         network_requests=link_log.total_requests - requests_before,
         files_fetched=stats.remote_fetches,
         cache_hits=stats.cache_hits,
+        retries=retries_after - retries_before,
+        errors=errors_after - errors_before,
+        degraded=deploy_report.degraded or stats.degraded_fetches > 0,
     )
 
 

@@ -18,7 +18,9 @@ from repro.gear.converter import GearConverter
 from repro.gear.driver import GearDriver
 from repro.gear.pool import EvictionPolicy, SharedFilePool
 from repro.gear.registry import GearRegistry
+from repro.net.faults import FaultPlan, FaultyLink
 from repro.net.link import Link
+from repro.net.resilience import RetryPolicy
 from repro.net.transport import RpcTransport
 from repro.storage.disk import Disk, DiskProfile, HDD
 from repro.workloads.corpus import GeneratedImage
@@ -36,10 +38,25 @@ class Testbed:
     converter: GearConverter
     daemon: DockerDaemon
     gear_driver: GearDriver
+    fault_plan: Optional[FaultPlan] = None
 
     def set_bandwidth(self, bandwidth_mbps: float) -> None:
         """Change the client↔registry link speed in place."""
         self.link.bandwidth_mbps = bandwidth_mbps
+
+    def arm_faults(self) -> None:
+        """Anchor the fault plan's outage windows at the current time.
+
+        Call after publishing/converting so outage offsets are relative
+        to deployment start, not corpus-construction time.
+        """
+        if isinstance(self.link, FaultyLink):
+            self.link.arm()
+
+    def disarm_faults(self) -> None:
+        """Suspend outage windows (drops/corruption stay live)."""
+        if isinstance(self.link, FaultyLink):
+            self.link.disarm()
 
     def fresh_client(self) -> "Testbed":
         """Replace the client side (daemon, driver, cache) with new, empty
@@ -59,6 +76,7 @@ class Testbed:
             converter=self.converter,
             daemon=daemon,
             gear_driver=driver,
+            fault_plan=self.fault_plan,
         )
 
 
@@ -69,11 +87,26 @@ def make_testbed(
     client_disk: DiskProfile = HDD,
     pool_capacity_bytes: Optional[int] = None,
     pool_policy: EvictionPolicy = EvictionPolicy.LRU,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
 ) -> Testbed:
-    """Assemble the two-node testbed of §V-A."""
+    """Assemble the two-node testbed of §V-A.
+
+    A ``fault_plan`` swaps the link for a :class:`FaultyLink` and (unless
+    an explicit ``retry_policy`` is given) equips the transport with the
+    default :class:`RetryPolicy`.  Without a plan the wiring is exactly
+    the seed topology — same link, no retry state, byte-identical logs.
+    """
     clock = SimClock()
-    link = Link(clock, bandwidth_mbps=bandwidth_mbps)
-    transport = RpcTransport(link)
+    if fault_plan is not None:
+        link: Link = FaultyLink(
+            clock, fault_plan, bandwidth_mbps=bandwidth_mbps
+        )
+        if retry_policy is None:
+            retry_policy = RetryPolicy()
+    else:
+        link = Link(clock, bandwidth_mbps=bandwidth_mbps)
+    transport = RpcTransport(link, retry_policy=retry_policy)
     docker_registry = DockerRegistry()
     gear_registry = GearRegistry()
     transport.bind(docker_registry.endpoint())
@@ -93,6 +126,7 @@ def make_testbed(
         converter=converter,
         daemon=daemon,
         gear_driver=gear_driver,
+        fault_plan=fault_plan,
     )
 
 

@@ -29,6 +29,7 @@ from repro.bench.deploy import (
 from repro.bench.environment import make_testbed, publish_images
 from repro.bench.reporting import format_table, gb, pct
 from repro.bench.storage import compare_storage
+from repro.net.faults import FaultPlan, OutageWindow
 from repro.workloads.corpus import CorpusBuilder, CorpusConfig
 from repro.workloads.series import SERIES
 
@@ -112,28 +113,57 @@ def cmd_storage(args) -> int:
     return 0
 
 
+def _fault_plan(args) -> "Optional[FaultPlan]":
+    """Build the fault plan the deploy flags describe (None = clean wire)."""
+    outages = ()
+    if args.outage_len > 0:
+        outages = (
+            OutageWindow(start_s=args.outage_start, duration_s=args.outage_len),
+        )
+    if not (args.drop_rate or args.corrupt_rate or outages):
+        return None
+    targets = tuple(args.fault_target) if args.fault_target else None
+    return FaultPlan(
+        seed=f"cli-{args.fault_seed}",
+        drop_rate=args.drop_rate,
+        corrupt_rate=args.corrupt_rate,
+        outages=outages,
+        targets=targets,
+    )
+
+
 def cmd_deploy(args) -> int:
     """Deploy one series under Docker, Gear, and Slacker."""
     corpus = _corpus(args, series=(args.target,))
     images = corpus.by_series[args.target]
-    testbed = make_testbed(bandwidth_mbps=args.bandwidth)
+    plan = _fault_plan(args)
+    testbed = make_testbed(bandwidth_mbps=args.bandwidth, fault_plan=plan)
     publish_images(testbed, corpus.images, convert=True)
+    testbed.arm_faults()
     slacker = SlackerDriver(testbed.clock, testbed.link)
     rows = []
     for generated in images:
         docker = deploy_with_docker(testbed.fresh_client(), generated)
         gear = deploy_with_gear(testbed, generated)
         slk = deploy_with_slacker(slacker, testbed, generated)
-        rows.append(
-            (
-                generated.tag,
-                f"{docker.pull_s:.2f}/{docker.run_s:.2f}",
-                f"{gear.pull_s:.2f}/{gear.run_s:.2f}",
-                f"{slk.pull_s:.2f}/{slk.run_s:.2f}",
-            )
-        )
+        row = [
+            generated.tag,
+            f"{docker.pull_s:.2f}/{docker.run_s:.2f}",
+            f"{gear.pull_s:.2f}/{gear.run_s:.2f}",
+            f"{slk.pull_s:.2f}/{slk.run_s:.2f}",
+        ]
+        if plan is not None:
+            flags = "degraded" if gear.degraded else "-"
+            row.append(f"{gear.retries}/{gear.errors}/{flags}")
+        rows.append(tuple(row))
     print(f"deploying {args.target} @ {args.bandwidth} Mbps — pull/run (s)")
-    print(format_table(["Version", "Docker", "Gear", "Slacker"], rows))
+    headers = ["Version", "Docker", "Gear", "Slacker"]
+    if plan is not None:
+        headers.append("Gear retry/err/mode")
+        print(f"fault plan: drop={plan.drop_rate} corrupt={plan.corrupt_rate} "
+              f"outages={[(o.start_s, o.duration_s) for o in plan.outages]} "
+              f"targets={plan.targets or 'all'}")
+    print(format_table(headers, rows))
     return 0
 
 
@@ -167,6 +197,25 @@ def build_parser() -> argparse.ArgumentParser:
                             help="deploy a series under all systems")
     deploy.add_argument("--target", default="nginx")
     deploy.add_argument("--bandwidth", type=float, default=100.0)
+    faults = deploy.add_argument_group(
+        "fault injection",
+        "deterministic wire faults (off by default; any flag enables "
+        "the FaultyLink + default RetryPolicy)",
+    )
+    faults.add_argument("--drop-rate", type=float, default=0.0,
+                        help="probability a transfer is lost (timeout)")
+    faults.add_argument("--corrupt-rate", type=float, default=0.0,
+                        help="probability a response payload is corrupted")
+    faults.add_argument("--outage-start", type=float, default=0.0,
+                        help="outage start, seconds after deployment begins")
+    faults.add_argument("--outage-len", type=float, default=0.0,
+                        help="outage duration in seconds (0 = no outage)")
+    faults.add_argument("--fault-seed", default="0",
+                        help="seed token for the fault decision stream")
+    faults.add_argument(
+        "--fault-target", nargs="*", default=["gear-registry"],
+        help="endpoint names the plan applies to (empty = all traffic)",
+    )
     return parser
 
 

@@ -27,6 +27,32 @@ class TransportError(ReproError):
     """A simulated network transfer failed (unreachable peer, bad frame)."""
 
 
+class TimeoutError(TransportError):  # noqa: A001 - deliberate shadow
+    """A request or response was lost; the client waited out its timer.
+
+    Named after the condition a real client observes: it cannot tell a
+    dropped request from a dropped response, only that no answer arrived
+    within the timeout.  Retryable.
+    """
+
+
+class UnavailableError(TransportError):
+    """The peer refused or stalled the connection (outage window).
+
+    Models a registry that is down or unreachable; attempts during the
+    outage fail after paying the connect/stall cost.  Retryable.
+    """
+
+
+class CorruptPayloadError(TransportError):
+    """A response payload failed the transport's framing checksum.
+
+    The wire delivered bytes that do not match what the peer sent; the
+    transfer itself completed (and was charged), but the payload is
+    unusable.  Retryable — a re-fetch gets a fresh copy.
+    """
+
+
 class IntegrityError(ReproError):
     """Content failed verification against its digest or fingerprint."""
 

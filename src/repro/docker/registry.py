@@ -97,6 +97,18 @@ class DockerRegistry:
             raise NotFoundError(f"no such image: {reference!r}")
         del self._manifests[reference]
 
+    def delete_layer(self, digest: Digest) -> None:
+        """Remove a layer blob (GC and loss-injection experiments).
+
+        Manifests referencing the layer are left in place — exactly the
+        dangling-reference state a registry-side disk failure produces;
+        subsequent pulls fail with :class:`NotFoundError`.
+        """
+        if not self._layers.query(digest):
+            raise NotFoundError(f"no such layer: {digest.short()}")
+        self._layers.delete(digest)
+        del self._layer_objects[digest]
+
     # -- accounting ----------------------------------------------------------
 
     @property

@@ -23,7 +23,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
 from repro.common.clock import SimClock
-from repro.common.errors import GearError, NotFoundError
+from repro.common.errors import GearError, NotFoundError, ReproError
 from repro.docker.container import ContainerState
 from repro.docker.daemon import (
     CONTAINER_DESTROY_BASE_S,
@@ -32,22 +32,39 @@ from repro.docker.daemon import (
     DockerDaemon,
 )
 from repro.docker.image import Image
-from repro.gear.index import GearIndex, STUB_XATTR
+from repro.gear.gearfile import GearFile
+from repro.gear.index import GearFileEntry, GearIndex, STUB_XATTR
 from repro.gear.pool import SharedFilePool
 from repro.gear.viewer import GearFileViewer
 from repro.net.transport import RpcTransport
+from repro.vfs.tree import FileSystemTree
 
 _gear_container_ids = itertools.count(1)
+
+#: Suffix the converter appends to index image names; the degraded path
+#: strips it to find the original image in the Docker registry.
+_GEAR_SUFFIX = ".gear"
 
 
 @dataclass
 class GearDeployReport:
-    """Cost breakdown of one Gear container deployment."""
+    """Cost breakdown of one Gear container deployment.
+
+    The degradation fields are filled in *after* deploy returns: lazy
+    faults happen during the run phase, and the driver keeps the report
+    per reference so the degraded path can record itself on it.
+    """
 
     reference: str
     pull_s: float = 0.0
     index_bytes: int = 0
     index_reused: bool = False
+    #: True once any file was served through the degraded path.
+    degraded: bool = False
+    #: Files served by falling back to a regular Docker layer pull.
+    degraded_fetches: int = 0
+    #: Virtual seconds spent pulling the original image for fallback.
+    fallback_pull_s: float = 0.0
 
 
 class GearContainer:
@@ -99,6 +116,10 @@ class GearDriver:
         #: Level 2: one live index per deployed image reference.
         self._indexes: Dict[str, GearIndex] = {}
         self._containers: Dict[str, GearContainer] = {}
+        #: Latest deploy report per reference (degradations land here).
+        self._reports: Dict[str, GearDeployReport] = {}
+        #: Flattened original-image trees pulled by the degraded path.
+        self._fallback_trees: Dict[str, FileSystemTree] = {}
 
     # -- image-level operations ------------------------------------------
 
@@ -107,6 +128,7 @@ class GearDriver:
         report = GearDeployReport(reference=reference)
         if reference in self._indexes:
             report.index_reused = True
+            self._reports[reference] = report
             return report
         timer = self.clock.timer()
         pull = self.daemon.pull(reference)
@@ -120,7 +142,12 @@ class GearDriver:
         self._indexes[reference] = index
         report.pull_s = timer.elapsed()
         report.index_bytes = pull.bytes_downloaded
+        self._reports[reference] = report
         return report
+
+    def deploy_report(self, reference: str) -> Optional[GearDeployReport]:
+        """The most recent deploy report for ``reference`` (if any)."""
+        return self._reports.get(reference)
 
     def get_index(self, reference: str) -> GearIndex:
         try:
@@ -153,11 +180,67 @@ class GearDriver:
         """Mount a viewer over the image's index and a fresh diff."""
         index = self.get_index(reference)
         viewer = GearFileViewer(
-            index, self.pool, transport=self.transport, disk=self.daemon.disk
+            index,
+            self.pool,
+            transport=self.transport,
+            disk=self.daemon.disk,
+            fallback=self._make_fallback(reference),
         )
         container = GearContainer(index, viewer)
         self._containers[container.id] = container
         return container
+
+    # -- degraded mode -----------------------------------------------------
+
+    def _make_fallback(self, reference: str):
+        """Degraded-mode fetcher for viewers mounted from ``reference``.
+
+        When the Gear registry is unreachable past the retry budget, the
+        remaining files are pulled as a *regular layer pull* through the
+        Docker registry (which the fault plan may leave healthy — the
+        two registries are distinct services even when co-located).  The
+        whole original image is pulled once, flattened, and then serves
+        every later degraded fault locally; files already cached in the
+        shared pool keep being served stale without any network at all.
+        """
+        base_reference = self._base_reference(reference)
+        if base_reference is None:
+            return None
+
+        def fetch(entry: GearFileEntry) -> Optional[GearFile]:
+            tree = self._fallback_trees.get(reference)
+            if tree is None:
+                timer = self.clock.timer()
+                try:
+                    self.daemon.pull(base_reference)
+                    tree = self.daemon.get_image(base_reference).flatten()
+                except ReproError:
+                    # Docker registry is down too (or the original image
+                    # was deleted after conversion): nothing we can do.
+                    return None
+                self._fallback_trees[reference] = tree
+                report = self._reports.get(reference)
+                if report is not None:
+                    report.fallback_pull_s += timer.elapsed()
+            try:
+                blob = tree.read_blob(entry.path)
+            except ReproError:
+                return None
+            report = self._reports.get(reference)
+            if report is not None:
+                report.degraded = True
+                report.degraded_fetches += 1
+            return GearFile(identity=entry.identity, blob=blob)
+
+        return fetch
+
+    @staticmethod
+    def _base_reference(reference: str) -> Optional[str]:
+        """Map an index reference back to its original image reference."""
+        name, _, tag = reference.partition(":")
+        if not name.endswith(_GEAR_SUFFIX) or not tag:
+            return None
+        return f"{name[: -len(_GEAR_SUFFIX)]}:{tag}"
 
     def start_container(self, container: GearContainer) -> None:
         self.clock.advance(CONTAINER_START_COST_S, f"start:{container.id}")

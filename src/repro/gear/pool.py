@@ -16,9 +16,9 @@ from __future__ import annotations
 
 import enum
 from collections import OrderedDict
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Set
 
-from repro.common.errors import StorageError
+from repro.common.errors import IntegrityError, StorageError
 from repro.gear.gearfile import GearFile
 from repro.vfs.inode import FileKind, Inode, Metadata
 
@@ -50,6 +50,10 @@ class SharedFilePool:
         self.misses = 0
         self.evictions = 0
         self.eviction_failures = 0
+        self.quarantines = 0
+        #: Identities whose last download failed verification; cleared
+        #: when a verified copy finally lands.
+        self._quarantined: Set[str] = set()
 
     # -- lookup ------------------------------------------------------------
 
@@ -75,7 +79,20 @@ class SharedFilePool:
 
         Returns the pool's inode (existing one when the identity is
         already cached — content-addressing never stores two copies).
+
+        The pool is the *shared* level-1 cache: a corrupt entry would
+        poison every image on the node, so content is verified against
+        its fingerprint name before it is admitted (collision-handled
+        ``uid-…`` files are not fingerprint-named and are exempt).
         """
+        if not gear_file.identity.startswith("uid-") and (
+            gear_file.blob.fingerprint != gear_file.identity
+        ):
+            raise IntegrityError(
+                f"refusing to cache {gear_file.identity!r}: content hashes "
+                f"to {gear_file.blob.fingerprint!r}"
+            )
+        self._quarantined.discard(gear_file.identity)
         existing = self._inodes.get(identity := gear_file.identity)
         if existing is not None:
             if self.policy is EvictionPolicy.LRU:
@@ -122,6 +139,19 @@ class SharedFilePool:
         if identity in self._inodes:
             self._evict(identity)
             self.evictions -= 1  # administrative removal, not pressure
+
+    def quarantine(self, identity: str) -> None:
+        """Record a failed verification and purge any cached copy.
+
+        Called by the viewer when a download for ``identity`` arrived
+        corrupt; a later verified :meth:`insert` lifts the quarantine.
+        """
+        self.quarantines += 1
+        self._quarantined.add(identity)
+        self.drop(identity)
+
+    def is_quarantined(self, identity: str) -> bool:
+        return identity in self._quarantined
 
     def clear(self) -> None:
         """Empty the cache (the paper's no-local-cache scenario, §V-D)."""

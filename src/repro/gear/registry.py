@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from typing import Iterable, Iterator, List, Tuple
 
-from repro.common.errors import NotFoundError
+from repro.common.errors import IntegrityError, NotFoundError
 from repro.gear.gearfile import GearFile
 from repro.net.transport import RpcEndpoint
 from repro.storage.objectstore import ObjectStore
@@ -49,7 +49,13 @@ class GearRegistry:
             _, payload = self._store.download(identity)
         except NotFoundError:
             raise NotFoundError(f"gear file not found: {identity!r}") from None
-        assert isinstance(payload, GearFile)
+        # A typed check, not an assert: asserts vanish under ``python -O``
+        # and would silently hand back whatever the store held.
+        if not isinstance(payload, GearFile):
+            raise IntegrityError(
+                f"object stored under {identity!r} is not a Gear file "
+                f"(got {type(payload).__name__})"
+            )
         return payload
 
     # -- bulk helpers ------------------------------------------------------
@@ -72,6 +78,28 @@ class GearRegistry:
     def delete(self, identity: str) -> None:
         """Remove a Gear file (used by registry garbage collection)."""
         self._store.delete(identity)
+
+    # -- fault/loss injection (tests, resilience experiments) ---------------
+
+    def corrupt(self, identity: str, gear_file: GearFile) -> None:
+        """Replace the stored payload for ``identity`` with ``gear_file``.
+
+        A public hook for failure-injection experiments: models silent
+        registry-side bit rot (same name, different bytes).  The
+        replacement keeps the original identity key so clients notice
+        only through content verification.
+        """
+        if not self.query(identity):
+            raise NotFoundError(f"gear file not found: {identity!r}")
+        self._store.delete(identity)
+        self._store.upload(
+            identity,
+            gear_file,
+            size=gear_file.size,
+            stored_size=(
+                gear_file.compressed_size if self._compress else gear_file.size
+            ),
+        )
 
     # -- accounting ---------------------------------------------------------
 

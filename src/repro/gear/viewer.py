@@ -22,12 +22,18 @@ readable (§IV).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Sequence
+from typing import Callable, Optional, Sequence
 
-from repro.common.errors import GearError, IntegrityError, NotFoundError
+from repro.common.errors import (
+    GearError,
+    IntegrityError,
+    NotFoundError,
+    TimeoutError,
+    UnavailableError,
+)
 from repro.docker.daemon import DECOMPRESS_BPS
 from repro.gear.gearfile import GearFile
-from repro.gear.index import GearIndex, STUB_XATTR
+from repro.gear.index import GearFileEntry, GearIndex, STUB_XATTR
 from repro.gear.pool import SharedFilePool
 from repro.gear.registry import GearRegistry
 from repro.net.transport import RpcTransport
@@ -35,6 +41,10 @@ from repro.storage.disk import Disk
 from repro.vfs.inode import Inode
 from repro.vfs.overlay import OverlayMount
 from repro.vfs.tree import FileSystemTree
+
+#: A degraded-mode supplier of Gear files when the registry is out of
+#: reach: given the index entry, return a verified file or ``None``.
+FallbackFetcher = Callable[[GearFileEntry], Optional[GearFile]]
 
 
 @dataclass
@@ -46,6 +56,12 @@ class FaultStats:
     remote_fetches: int = 0
     remote_bytes: int = 0
     linked_bytes: int = 0
+    #: Downloads whose content failed fingerprint verification.
+    integrity_failures: int = 0
+    #: Re-downloads issued after quarantining a corrupt payload.
+    refetches: int = 0
+    #: Files served through the degraded path (registry unreachable).
+    degraded_fetches: int = 0
 
     @property
     def total_faulted_bytes(self) -> int:
@@ -55,6 +71,10 @@ class FaultStats:
 class GearFileViewer(OverlayMount):
     """An overlay mount whose lower layer is a Gear index."""
 
+    #: How many times a corrupt download is quarantined and re-fetched
+    #: before the fault is surfaced as an :class:`IntegrityError`.
+    INTEGRITY_REFETCH_LIMIT = 2
+
     def __init__(
         self,
         index: GearIndex,
@@ -63,12 +83,20 @@ class GearFileViewer(OverlayMount):
         transport: Optional[RpcTransport] = None,
         upper: Optional[FileSystemTree] = None,
         disk: Optional[Disk] = None,
+        fallback: Optional[FallbackFetcher] = None,
+        integrity_refetch_limit: Optional[int] = None,
     ) -> None:
         super().__init__([index.tree], upper)
         self.index = index
         self.pool = pool
         self.transport = transport
         self.disk = disk
+        self.fallback = fallback
+        self.integrity_refetch_limit = (
+            integrity_refetch_limit
+            if integrity_refetch_limit is not None
+            else self.INTEGRITY_REFETCH_LIMIT
+        )
         self.fault_stats = FaultStats()
 
     # -- the fault path ----------------------------------------------------
@@ -85,7 +113,7 @@ class GearFileViewer(OverlayMount):
         if inode is not None:
             self.fault_stats.cache_hits += 1
         else:
-            gear_file = self._fetch_remote(entry.identity)
+            gear_file = self._fetch_remote(entry)
             inode = self.pool.insert(gear_file)
             self.fault_stats.remote_fetches += 1
             self.fault_stats.remote_bytes += gear_file.compressed_size
@@ -105,28 +133,63 @@ class GearFileViewer(OverlayMount):
         self.fault_stats.linked_bytes += inode.size
         return inode
 
-    def _fetch_remote(self, identity: str) -> GearFile:
+    def _fetch_remote(self, entry: GearFileEntry) -> GearFile:
+        identity = entry.identity
         if self.transport is None:
             raise NotFoundError(
                 f"gear file {identity!r} not cached and no registry transport"
             )
-        gear_file = self.transport.call(
-            GearRegistry.ENDPOINT_NAME,
-            "download",
-            identity,
-            label=f"gear-fetch:{identity[:12]}",
-        )
-        # Content addressing doubles as an integrity check: a fetched
-        # file must hash to the name it was requested by.  Unique IDs
-        # (collision-handled files, "uid-…") opted out of fingerprint
-        # naming and are exempt (§III-B).
-        if not identity.startswith("uid-") and (
-            gear_file.blob.fingerprint != identity
+        refetches_left = self.integrity_refetch_limit
+        while True:
+            try:
+                gear_file = self.transport.call(
+                    GearRegistry.ENDPOINT_NAME,
+                    "download",
+                    identity,
+                    label=f"gear-fetch:{identity[:12]}",
+                )
+            except (TimeoutError, UnavailableError):
+                # The registry is past the retry budget; try the
+                # degraded path before surfacing the outage.
+                degraded = self._fetch_degraded(entry)
+                if degraded is None:
+                    raise
+                return degraded
+            # Content addressing doubles as an integrity check: a fetched
+            # file must hash to the name it was requested by.  Unique IDs
+            # (collision-handled files, "uid-…") opted out of fingerprint
+            # naming and are exempt (§III-B).
+            if identity.startswith("uid-") or (
+                gear_file.blob.fingerprint == identity
+            ):
+                return gear_file
+            # Corrupt payload: quarantine it (never cache poison) and
+            # re-fetch rather than failing the read outright.
+            self.fault_stats.integrity_failures += 1
+            self.pool.quarantine(identity)
+            if refetches_left <= 0:
+                raise IntegrityError(
+                    f"gear file {identity!r} failed verification "
+                    f"{self.fault_stats.integrity_failures} time(s): content "
+                    f"hashes to {gear_file.blob.fingerprint!r}"
+                )
+            refetches_left -= 1
+            self.fault_stats.refetches += 1
+
+    def _fetch_degraded(self, entry: GearFileEntry) -> Optional[GearFile]:
+        """Last resort when the Gear registry is unreachable."""
+        if self.fallback is None:
+            return None
+        gear_file = self.fallback(entry)
+        if gear_file is None:
+            return None
+        if not entry.identity.startswith("uid-") and (
+            gear_file.blob.fingerprint != entry.identity
         ):
             raise IntegrityError(
-                f"gear file {identity!r} failed verification: content "
-                f"hashes to {gear_file.blob.fingerprint!r}"
+                f"degraded fetch for {entry.identity!r} failed verification"
             )
+        self.fault_stats.degraded_fetches += 1
         return gear_file
 
     # -- helpers --------------------------------------------------------------

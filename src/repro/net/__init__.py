@@ -5,9 +5,26 @@ The paper's evaluation sweeps link bandwidth (904 / 100 / 20 / 5 Mbps,
 request overhead (many blocks vs few files, §V-E2).  The simulator models
 exactly those effects: each transfer pays a round-trip plus payload bytes
 divided by bandwidth, on the shared virtual clock.
+
+Beyond the paper, :mod:`repro.net.faults` injects deterministic wire
+faults (drops, corruption, latency spikes, outages) and
+:mod:`repro.net.resilience` supplies the retry/backoff machinery the
+transport applies against them.
 """
 
+from repro.net.faults import FaultPlan, FaultyLink, OutageWindow, lossy_plan
 from repro.net.link import Link, TransferLog
+from repro.net.resilience import RetryPolicy
 from repro.net.transport import RpcEndpoint, RpcTransport
 
-__all__ = ["Link", "TransferLog", "RpcEndpoint", "RpcTransport"]
+__all__ = [
+    "FaultPlan",
+    "FaultyLink",
+    "Link",
+    "OutageWindow",
+    "RetryPolicy",
+    "RpcEndpoint",
+    "RpcTransport",
+    "TransferLog",
+    "lossy_plan",
+]

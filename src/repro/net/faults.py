@@ -1,0 +1,301 @@
+"""Deterministic network fault injection.
+
+The paper's client depends on the Gear registry being reachable at every
+lazy read fault (§III-D2); production on-demand loaders treat the network
+as hostile instead — AWS Lambda's container loader layers retries and
+integrity re-verification over its lazy chunk fetches, and edge
+deployments (EdgePier) exist precisely because edge links are flaky.
+This module lets experiments ask the same question: a :class:`FaultPlan`
+describes a lossy wire (drops, payload corruption, latency spikes, timed
+outage windows) and a :class:`FaultyLink` wraps the ordinary
+:class:`~repro.net.link.Link` to inject those faults.
+
+Everything is deterministic: fault decisions are drawn from a
+:func:`repro.common.rng.rng_for` stream seeded by the plan, so the same
+seed and the same call sequence produce byte-identical fault schedules,
+transfer logs, and virtual timings on every run.
+
+Failed attempts still cost virtual time — a dropped request charges the
+full client timeout, an outage attempt charges the connect/stall cost —
+so resilience machinery (retries, backoff, degraded modes) shows up in
+deploy times exactly the way it would on real hardware.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.common.clock import SimClock
+from repro.common.errors import TimeoutError, UnavailableError
+from repro.common.rng import rng_for
+from repro.net.link import Link
+
+
+@dataclass(frozen=True)
+class OutageWindow:
+    """A time span during which the targeted peer is unreachable.
+
+    Offsets are relative to the moment the plan is armed (see
+    :meth:`FaultyLink.arm`), not absolute clock time, so experiments can
+    publish images fault-free and start the outage "now".
+    """
+
+    start_s: float
+    duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.duration_s < 0:
+            raise ValueError("outage start and duration must be non-negative")
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def contains(self, offset_s: float) -> bool:
+        return self.start_s <= offset_s < self.end_s
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A declarative description of how the wire misbehaves.
+
+    * ``drop_rate`` — probability a transfer (request or response) is
+      lost; the client waits out ``timeout_s`` and sees a
+      :class:`~repro.common.errors.TimeoutError`.
+    * ``corrupt_rate`` — probability a response payload is corrupted in
+      flight.  A fraction ``corrupt_detect_rate`` of corruptions are
+      caught by the transport's framing checksum
+      (:class:`~repro.common.errors.CorruptPayloadError`, retryable);
+      the rest are delivered as tampered payloads for end-to-end
+      integrity checks to catch.
+    * ``spike_rate`` / ``spike_factor`` — probability a transfer takes
+      ``spike_factor`` times its nominal duration (congestion burst);
+      the transfer still succeeds.
+    * ``outages`` — windows (relative to arming) during which every
+      attempt fails with :class:`~repro.common.errors.UnavailableError`
+      after charging ``outage_stall_s``.
+    * ``targets`` — endpoint names the plan applies to; ``None`` means
+      all RPC traffic.  Transfers outside any RPC call are never
+      touched.
+    """
+
+    seed: str = "faults"
+    drop_rate: float = 0.0
+    corrupt_rate: float = 0.0
+    corrupt_detect_rate: float = 0.5
+    spike_rate: float = 0.0
+    spike_factor: float = 8.0
+    timeout_s: float = 1.0
+    outage_stall_s: float = 0.5
+    outages: Tuple[OutageWindow, ...] = ()
+    targets: Optional[Tuple[str, ...]] = None
+
+    def __post_init__(self) -> None:
+        for name in ("drop_rate", "corrupt_rate", "corrupt_detect_rate",
+                     "spike_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.spike_factor < 1.0:
+            raise ValueError("spike_factor must be >= 1")
+        if self.timeout_s <= 0 or self.outage_stall_s < 0:
+            raise ValueError("timeout/stall costs must be positive")
+
+    def applies_to(self, endpoint_name: Optional[str]) -> bool:
+        """Does this plan target traffic to ``endpoint_name``?"""
+        if endpoint_name is None:
+            return False
+        return self.targets is None or endpoint_name in self.targets
+
+    @property
+    def is_null(self) -> bool:
+        """True when the plan can never produce a fault."""
+        return (
+            self.drop_rate == 0.0
+            and self.corrupt_rate == 0.0
+            and self.spike_rate == 0.0
+            and not self.outages
+        )
+
+
+@dataclass
+class LinkFaultStats:
+    """What the fault injector actually did."""
+
+    drops: int = 0
+    corruptions: int = 0
+    corruptions_detected: int = 0
+    spikes: int = 0
+    outage_rejections: int = 0
+
+    @property
+    def total_faults(self) -> int:
+        return self.drops + self.corruptions + self.outage_rejections
+
+
+class FaultyLink(Link):
+    """A :class:`Link` that injects the faults a :class:`FaultPlan` describes.
+
+    The RPC transport scopes each call with :meth:`begin_call` /
+    :meth:`end_call` so the plan can target individual endpoints; raw
+    (non-RPC) transfers pass through untouched.  Fault decisions are
+    drawn from a seeded stream in transfer order, so identical call
+    sequences see identical faults.
+    """
+
+    def __init__(
+        self,
+        clock: SimClock,
+        plan: FaultPlan,
+        *,
+        bandwidth_mbps: float = 904.0,
+        rtt_s: float = 0.0005,
+        request_overhead_s: float = 0.0015,
+    ) -> None:
+        super().__init__(
+            clock,
+            bandwidth_mbps=bandwidth_mbps,
+            rtt_s=rtt_s,
+            request_overhead_s=request_overhead_s,
+        )
+        self.plan = plan
+        self.fault_stats = LinkFaultStats()
+        self._rng = rng_for("net-faults", plan.seed)
+        self._scope: Optional[str] = None
+        self._armed_at: Optional[float] = clock.now
+
+    # -- arming ------------------------------------------------------------
+
+    def arm(self, at: Optional[float] = None) -> None:
+        """Re-anchor outage windows at ``at`` (default: now).
+
+        Experiments publish images fault-free, then ``arm()`` right
+        before deploying so an ``OutageWindow(start_s=0, ...)`` begins at
+        deployment time regardless of how long publishing took.
+        """
+        self._armed_at = self.clock.now if at is None else at
+
+    def disarm(self) -> None:
+        """Suspend outage windows until the next :meth:`arm`.
+
+        Rate-based faults (drops, corruption, spikes) stay active — only
+        the timed windows are anchored to arming.  Lets experiments warm
+        up deployments cleanly, then start the outage "now".
+        """
+        self._armed_at = None
+
+    @property
+    def armed_at(self) -> Optional[float]:
+        return self._armed_at
+
+    # -- call scoping (set by RpcTransport) --------------------------------
+
+    def begin_call(self, endpoint_name: str) -> None:
+        self._scope = endpoint_name
+
+    def end_call(self) -> None:
+        self._scope = None
+
+    @property
+    def _active(self) -> bool:
+        return self._scope is not None and self.plan.applies_to(self._scope)
+
+    # -- fault injection -----------------------------------------------------
+
+    def _current_outage(self) -> Optional[OutageWindow]:
+        if self._armed_at is None:
+            return None
+        offset = self.clock.now - self._armed_at
+        for window in self.plan.outages:
+            if window.contains(offset):
+                return window
+        return None
+
+    def transfer(self, payload_bytes: int, label: str = "") -> float:
+        if not self._active:
+            return super().transfer(payload_bytes, label)
+        plan = self.plan
+        window = self._current_outage()
+        if window is not None:
+            self.fault_stats.outage_rejections += 1
+            self.clock.advance(plan.outage_stall_s, f"fault-outage:{label}")
+            raise UnavailableError(
+                f"{self._scope!r} unreachable (outage until "
+                f"t+{window.end_s:.2f}s) during {label!r}"
+            )
+        if plan.drop_rate and self._rng.random() < plan.drop_rate:
+            self.fault_stats.drops += 1
+            self.clock.advance(plan.timeout_s, f"fault-drop:{label}")
+            raise TimeoutError(
+                f"transfer {label!r} to {self._scope!r} timed out after "
+                f"{plan.timeout_s:g}s (packet lost)"
+            )
+        if plan.spike_rate and self._rng.random() < plan.spike_rate:
+            self.fault_stats.spikes += 1
+            extra = self.transfer_time(payload_bytes) * (plan.spike_factor - 1)
+            self.clock.advance(extra, f"fault-spike:{label}")
+        return super().transfer(payload_bytes, label)
+
+    def roll_corruption(self) -> Optional[str]:
+        """Decide the fate of the response payload just transferred.
+
+        Returns ``None`` (intact), ``"detected"`` (framing checksum
+        caught the damage), or ``"undetected"`` (tampered payload is
+        delivered to the caller).  Called by the transport once per
+        successful response while a call scope is active.
+        """
+        if not self._active or not self.plan.corrupt_rate:
+            return None
+        if self._rng.random() >= self.plan.corrupt_rate:
+            return None
+        self.fault_stats.corruptions += 1
+        if self._rng.random() < self.plan.corrupt_detect_rate:
+            self.fault_stats.corruptions_detected += 1
+            return "detected"
+        return "undetected"
+
+    def tamper(self, payload: object) -> Optional[object]:
+        """Return a corrupted stand-in for ``payload``, or None.
+
+        Only content-addressed payloads can carry *undetected* damage to
+        the application layer — anything else (booleans, manifests,
+        chunk maps) is framed small enough that the transport checksum
+        always catches it, so this returns ``None`` and the transport
+        raises :class:`~repro.common.errors.CorruptPayloadError`
+        instead.  Collision-handled ``uid-…`` Gear files are not
+        self-certifying either and likewise fall back to detection.
+        """
+        from repro.blob import Blob
+        from repro.gear.gearfile import GearFile
+
+        if isinstance(payload, GearFile) and not payload.identity.startswith(
+            "uid-"
+        ):
+            junk = (
+                f"corrupt:{payload.identity}:{self._rng.random():.17f}"
+            ).encode()
+            return GearFile(identity=payload.identity, blob=Blob.from_bytes(junk))
+        return None
+
+    def __repr__(self) -> str:
+        return (
+            f"FaultyLink({self.bandwidth_mbps:g} Mbps, drop={self.plan.drop_rate}, "
+            f"corrupt={self.plan.corrupt_rate}, outages={len(self.plan.outages)})"
+        )
+
+
+def lossy_plan(
+    seed: str = "faults",
+    *,
+    drop_rate: float = 0.05,
+    corrupt_rate: float = 0.02,
+    targets: Optional[Tuple[str, ...]] = None,
+) -> FaultPlan:
+    """A moderately hostile wire: a few percent drops and corruption."""
+    return FaultPlan(
+        seed=seed,
+        drop_rate=drop_rate,
+        corrupt_rate=corrupt_rate,
+        targets=targets,
+    )

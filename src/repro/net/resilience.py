@@ -1,0 +1,111 @@
+"""Client-side resilience: retry with backoff under a deadline and budget.
+
+The retry shape follows what production on-demand loaders converged on
+(AWS's "Exponential Backoff And Jitter"): capped exponential backoff with
+*decorrelated jitter*, bounded by both a per-call deadline and a
+cross-call retry budget so a dying registry cannot absorb unbounded
+client time.  Backoff sleeps advance the shared virtual clock, so
+resilience costs are visible in deploy timings.
+
+Jitter is drawn from a seeded :func:`repro.common.rng.rng_for` stream:
+the same policy seed and the same failure sequence back off identically
+on every run, keeping experiments reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.common.errors import (
+    CorruptPayloadError,
+    TimeoutError,
+    UnavailableError,
+)
+from repro.common.rng import rng_for
+
+#: Transport failures a retry can plausibly fix.  A plain
+#: ``TransportError`` (unknown endpoint/method) is a programming error
+#: and is never retried.
+RETRYABLE_ERRORS = (TimeoutError, UnavailableError, CorruptPayloadError)
+
+
+@dataclass
+class RetryPolicy:
+    """Decorrelated-jitter retry for RPC calls.
+
+    * ``max_attempts`` — total tries per call (first attempt included);
+    * ``base_backoff_s`` / ``max_backoff_s`` — backoff bounds; each sleep
+      is ``uniform(base, 3 * previous)`` capped at the maximum
+      (decorrelated jitter);
+    * ``deadline_s`` — per-call wall limit: once a call has burned this
+      much virtual time across attempts, it gives up;
+    * ``budget_s`` — cross-call budget of backoff seconds this policy
+      may spend in total; exhausted budget turns every failure into an
+      immediate give-up (protects experiments from pathological plans).
+    """
+
+    max_attempts: int = 4
+    base_backoff_s: float = 0.05
+    max_backoff_s: float = 2.0
+    deadline_s: Optional[float] = 30.0
+    budget_s: Optional[float] = 120.0
+    seed: str = "retry"
+    #: Backoff seconds spent so far (across all calls using this policy).
+    spent_s: float = field(default=0.0, init=False)
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.base_backoff_s <= 0 or self.max_backoff_s < self.base_backoff_s:
+            raise ValueError("backoff bounds must satisfy 0 < base <= max")
+        if self.deadline_s is not None and self.deadline_s <= 0:
+            raise ValueError("deadline must be positive when set")
+        if self.budget_s is not None and self.budget_s < 0:
+            raise ValueError("budget must be non-negative when set")
+        self._rng = rng_for("net-retry", self.seed)
+
+    @staticmethod
+    def is_retryable(error: BaseException) -> bool:
+        return isinstance(error, RETRYABLE_ERRORS)
+
+    def next_backoff(self, previous_s: Optional[float]) -> float:
+        """Draw the next decorrelated-jitter sleep."""
+        anchor = previous_s if previous_s is not None else self.base_backoff_s
+        sleep = self._rng.uniform(self.base_backoff_s, anchor * 3.0)
+        return min(self.max_backoff_s, sleep)
+
+    def should_retry(
+        self,
+        error: BaseException,
+        *,
+        attempt: int,
+        elapsed_s: float,
+    ) -> bool:
+        """May attempt ``attempt`` (1-based) be followed by another try?"""
+        if not self.is_retryable(error):
+            return False
+        if attempt >= self.max_attempts:
+            return False
+        if self.deadline_s is not None and elapsed_s >= self.deadline_s:
+            return False
+        if self.budget_s is not None and self.spent_s >= self.budget_s:
+            return False
+        return True
+
+    def charge(self, backoff_s: float) -> None:
+        self.spent_s += backoff_s
+
+    @property
+    def budget_remaining_s(self) -> Optional[float]:
+        if self.budget_s is None:
+            return None
+        return max(0.0, self.budget_s - self.spent_s)
+
+    def __repr__(self) -> str:
+        return (
+            f"RetryPolicy(attempts={self.max_attempts}, "
+            f"backoff=[{self.base_backoff_s:g}, {self.max_backoff_s:g}]s, "
+            f"deadline={self.deadline_s}, budget={self.budget_s}, "
+            f"spent={self.spent_s:.3f}s)"
+        )

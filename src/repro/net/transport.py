@@ -6,6 +6,13 @@ register handlers; calls pay link costs for the request and the response
 payload, then execute the handler synchronously.  This keeps the system
 architecture honest (registries are *services*, not in-process objects the
 client pokes at) while remaining deterministic.
+
+When the underlying link is a :class:`~repro.net.faults.FaultyLink` the
+transport becomes the resilience layer real lazy loaders need: attempts
+that time out, hit an outage, or deliver a corrupt payload are retried
+under the configured :class:`~repro.net.resilience.RetryPolicy`, with
+backoff charged to the virtual clock and every failure accounted in the
+endpoint's :class:`RpcStats`.
 """
 
 from __future__ import annotations
@@ -13,8 +20,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Optional, Tuple
 
-from repro.common.errors import TransportError
+from repro.common.errors import CorruptPayloadError, TransportError
+from repro.net.faults import FaultyLink
 from repro.net.link import Link
+from repro.net.resilience import RetryPolicy
 
 Handler = Callable[..., Tuple[Any, int]]
 """An RPC handler returns ``(result, response_payload_bytes)``."""
@@ -22,11 +31,21 @@ Handler = Callable[..., Tuple[Any, int]]
 
 @dataclass
 class RpcStats:
-    """Per-endpoint call accounting."""
+    """Per-endpoint call accounting.
+
+    ``calls`` counts *successful* calls (the historical meaning);
+    ``errors`` counts failed attempts of any kind — transport faults and
+    handler exceptions alike — so benchmarks cannot under-report traffic
+    by only looking at successes.  ``retries`` counts the re-attempts the
+    retry policy issued and ``giveups`` the calls that exhausted it.
+    """
 
     calls: int = 0
     request_bytes: int = 0
     response_bytes: int = 0
+    errors: int = 0
+    retries: int = 0
+    giveups: int = 0
 
 
 class RpcEndpoint:
@@ -61,8 +80,11 @@ class RpcTransport:
     #: Approximate bytes of request framing (method name, small args).
     REQUEST_FRAME_BYTES = 256
 
-    def __init__(self, link: Link) -> None:
+    def __init__(
+        self, link: Link, *, retry_policy: Optional[RetryPolicy] = None
+    ) -> None:
         self.link = link
+        self.retry_policy = retry_policy
         self._endpoints: Dict[str, RpcEndpoint] = {}
 
     def bind(self, endpoint: RpcEndpoint) -> RpcEndpoint:
@@ -90,17 +112,87 @@ class RpcTransport:
 
         ``request_payload_bytes`` covers uploads (e.g. pushing a Gear
         file); the handler's declared response size covers downloads.
+
+        Transport faults (timeouts, outages, corrupt payloads) are
+        retried under :attr:`retry_policy`; handler exceptions propagate
+        immediately.  Retries re-execute the handler, which is safe
+        because every service verb here is idempotent (content-addressed
+        stores deduplicate re-uploads, downloads are pure reads).
         """
         endpoint = self.endpoint(endpoint_name)
         tag = label or f"{endpoint_name}.{method}"
-        self.link.transfer(
-            self.REQUEST_FRAME_BYTES + request_payload_bytes,
-            label=f"{tag}:request",
-        )
-        result, response_bytes = endpoint.handle(method, *args, **kwargs)
-        if response_bytes:
-            self.link.transfer(response_bytes, label=f"{tag}:response")
-        endpoint.stats.calls += 1
-        endpoint.stats.request_bytes += request_payload_bytes
-        endpoint.stats.response_bytes += response_bytes
-        return result
+        policy = self.retry_policy
+        faulty = self.link if isinstance(self.link, FaultyLink) else None
+        start = self.link.clock.now
+        attempt = 1
+        previous_backoff: Optional[float] = None
+        while True:
+            try:
+                result, response_bytes = self._attempt(
+                    endpoint, method, tag, faulty,
+                    request_payload_bytes, args, kwargs,
+                )
+            except TransportError as error:
+                endpoint.stats.errors += 1
+                elapsed = self.link.clock.now - start
+                if policy is None or not policy.should_retry(
+                    error, attempt=attempt, elapsed_s=elapsed
+                ):
+                    if policy is not None and policy.is_retryable(error):
+                        endpoint.stats.giveups += 1
+                    raise
+                backoff = policy.next_backoff(previous_backoff)
+                policy.charge(backoff)
+                self.link.clock.advance(backoff, f"{tag}:backoff")
+                endpoint.stats.retries += 1
+                previous_backoff = backoff
+                attempt += 1
+                continue
+            except Exception:
+                # Handler failure (NotFound, Integrity, …): not a wire
+                # problem, never retried, but the traffic still happened.
+                endpoint.stats.errors += 1
+                raise
+            endpoint.stats.calls += 1
+            endpoint.stats.request_bytes += request_payload_bytes
+            endpoint.stats.response_bytes += response_bytes
+            return result
+
+    def _attempt(
+        self,
+        endpoint: RpcEndpoint,
+        method: str,
+        tag: str,
+        faulty: Optional[FaultyLink],
+        request_payload_bytes: int,
+        args: Tuple[Any, ...],
+        kwargs: Dict[str, Any],
+    ) -> Tuple[Any, int]:
+        """One wire round-trip: request, handler, response, checksum."""
+        if faulty is not None:
+            faulty.begin_call(endpoint.name)
+        try:
+            self.link.transfer(
+                self.REQUEST_FRAME_BYTES + request_payload_bytes,
+                label=f"{tag}:request",
+            )
+            result, response_bytes = endpoint.handle(method, *args, **kwargs)
+            if response_bytes:
+                self.link.transfer(response_bytes, label=f"{tag}:response")
+            if faulty is not None:
+                verdict = faulty.roll_corruption()
+                if verdict is not None:
+                    tampered = (
+                        faulty.tamper(result)
+                        if verdict == "undetected"
+                        else None
+                    )
+                    if tampered is None:
+                        raise CorruptPayloadError(
+                            f"response for {tag!r} failed its framing checksum"
+                        )
+                    result = tampered
+            return result, response_bytes
+        finally:
+            if faulty is not None:
+                faulty.end_call()

@@ -37,10 +37,18 @@ class TestRegistryLoss:
         testbed = make_testbed()
         publish_images(testbed, small_corpus.images, convert=False)
         manifest = testbed.docker_registry.get_manifest("nginx:v1")
-        testbed.docker_registry._layers.delete(manifest.layer_digests[-1])
-        del testbed.docker_registry._layer_objects[manifest.layer_digests[-1]]
+        testbed.docker_registry.delete_layer(manifest.layer_digests[-1])
         with pytest.raises(NotFoundError):
             testbed.daemon.pull("nginx:v1")
+
+    def test_delete_layer_of_unknown_digest_raises(self, small_corpus):
+        testbed = make_testbed()
+        publish_images(testbed, small_corpus.images, convert=False)
+        manifest = testbed.docker_registry.get_manifest("nginx:v1")
+        digest = manifest.layer_digests[0]
+        testbed.docker_registry.delete_layer(digest)
+        with pytest.raises(NotFoundError):
+            testbed.docker_registry.delete_layer(digest)
 
     def test_unbound_endpoint_is_transport_error(self):
         from repro.common.clock import SimClock
@@ -154,18 +162,47 @@ class TestIntegrityVerification:
         publish_images(testbed, small_corpus.images, convert=True)
         container, _ = testbed.gear_driver.deploy("nginx.gear:v1")
         # Corrupt one referenced object in place: same identity key,
-        # different bytes.
+        # different bytes.  Every re-fetch keeps returning the damaged
+        # object, so after the quarantine/refetch budget the viewer must
+        # surface the fault — never serve or cache the poison.
         index = testbed.gear_driver.get_index("nginx.gear:v1")
         path, entry = next(iter(sorted(index.entries.items())))
         victim = entry.identity
-        testbed.gear_registry.delete(victim)
-        testbed.gear_registry._store.upload(
-            victim,
-            GearFile(identity=victim, blob=Blob.from_bytes(b"evil bytes")),
-            size=10,
+        testbed.gear_registry.corrupt(
+            victim, GearFile(identity=victim, blob=Blob.from_bytes(b"evil bytes"))
         )
         with pytest.raises(IntegrityError):
             container.mount.read_bytes(path)
+        stats = container.mount.fault_stats
+        assert stats.integrity_failures >= 1
+        assert stats.refetches == container.mount.integrity_refetch_limit
+        assert not testbed.gear_driver.pool.contains(victim)
+        assert testbed.gear_driver.pool.is_quarantined(victim)
+
+    def test_registry_side_repair_lifts_quarantine(self, small_corpus):
+        from repro.blob import Blob
+        from repro.gear.gearfile import GearFile
+
+        testbed = make_testbed()
+        publish_images(testbed, small_corpus.images, convert=True)
+        container, _ = testbed.gear_driver.deploy("nginx.gear:v1")
+        index = testbed.gear_driver.get_index("nginx.gear:v1")
+        path, entry = next(iter(sorted(index.entries.items())))
+        victim = entry.identity
+        good = testbed.gear_registry.download(victim)
+        testbed.gear_registry.corrupt(
+            victim, GearFile(identity=victim, blob=Blob.from_bytes(b"bad"))
+        )
+        from repro.common.errors import IntegrityError
+
+        with pytest.raises(IntegrityError):
+            container.mount.read_bytes(path)
+        # The operator restores the object; the next read re-fetches,
+        # verifies, lifts the quarantine, and caches the good copy.
+        testbed.gear_registry.corrupt(victim, good)
+        assert container.mount.read_blob(path).fingerprint == victim
+        assert testbed.gear_driver.pool.contains(victim)
+        assert not testbed.gear_driver.pool.is_quarantined(victim)
 
     def test_uid_identities_skip_fingerprint_check(self):
         from repro.blob import Blob
