@@ -1,6 +1,7 @@
 #!/usr/bin/env sh
 # Repo health gate: tier-1 tests, warnings-as-errors on the fault-injection
-# suite, and a full bytecode compile of the source tree.
+# and scheduler suites, a fleet-contention determinism gate, and a full
+# bytecode compile of the source tree.
 #
 # Usage: sh scripts/check.sh   (from the repo root)
 set -eu
@@ -13,6 +14,21 @@ python -m pytest -x -q
 
 echo "== fault-injection suite under -W error =="
 python -W error -m pytest tests/test_net_faults.py -q
+
+echo "== scheduler suite under -W error =="
+python -W error -m pytest tests/test_sim_scheduler.py -q
+
+echo "== fleet-contention determinism gate =="
+# The concurrent simulation must be replayable: two identical sweeps
+# have to emit byte-identical JSON reports.
+fleet_tmp="$(mktemp -d)"
+trap 'rm -rf "$fleet_tmp"' EXIT
+fleet_cmd="python -m repro.cli deploy --series nginx --versions 2 \
+    --scale 0.2 --clients 8 --bandwidth 100 --json"
+$fleet_cmd > "$fleet_tmp/run1.json"
+$fleet_cmd > "$fleet_tmp/run2.json"
+diff "$fleet_tmp/run1.json" "$fleet_tmp/run2.json"
+echo "fleet reports identical across runs"
 
 echo "== compileall src =="
 python -m compileall -q src

@@ -16,6 +16,7 @@ times are virtual but deterministic in ``--seed``.
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -30,6 +31,7 @@ from repro.bench.environment import make_testbed, publish_images
 from repro.bench.reporting import format_table, gb, pct
 from repro.bench.storage import compare_storage
 from repro.net.faults import FaultPlan, OutageWindow
+from repro.net.topology import Cluster
 from repro.workloads.corpus import CorpusBuilder, CorpusConfig
 from repro.workloads.series import SERIES
 
@@ -132,8 +134,71 @@ def _fault_plan(args) -> "Optional[FaultPlan]":
     )
 
 
+def _cmd_deploy_fleet(args) -> int:
+    """Fleet contention mode: N clients deploy concurrently.
+
+    One image; per-system clusters; clients share the registry uplink
+    under fair sharing.  Reports per-client latency percentiles and
+    uplink utilization — deterministic, so two runs emit identical JSON
+    (the `scripts/check.sh` determinism gate relies on this).
+    """
+    if args.drop_rate or args.corrupt_rate or args.outage_len:
+        print("deploy: fault injection is not supported with --clients > 1",
+              file=sys.stderr)
+        return 2
+    corpus = _corpus(args, series=(args.target,))
+    generated = corpus.by_series[args.target][0]
+    concurrency = args.concurrency or args.clients
+    report = {
+        "target": generated.reference,
+        "bandwidth_mbps": args.bandwidth,
+        "clients": args.clients,
+        "concurrency": concurrency,
+        "systems": {},
+    }
+    actions = {
+        "docker": lambda node: deploy_with_docker(node.testbed, generated),
+        "gear": lambda node: deploy_with_gear(
+            node.testbed, generated, clear_cache=True
+        ),
+    }
+    for system, action in actions.items():
+        cluster = Cluster(args.clients, bandwidth_mbps=args.bandwidth)
+        publish_images(cluster.registry_testbed, [generated], convert=True)
+        wave = cluster.deploy_wave(action, concurrency=concurrency)
+        report["systems"][system] = wave.as_dict()
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+        return 0
+    print(
+        f"fleet deploy of {generated.reference}: {args.clients} clients, "
+        f"{concurrency} concurrent @ {args.bandwidth:g} Mbps"
+    )
+    print(
+        format_table(
+            ["System", "p50 (s)", "p95 (s)", "p99 (s)", "Makespan (s)",
+             "Uplink util", "Egress (MB)"],
+            [
+                (
+                    system,
+                    f"{wave['p50_s']:.2f}",
+                    f"{wave['p95_s']:.2f}",
+                    f"{wave['p99_s']:.2f}",
+                    f"{wave['makespan_s']:.2f}",
+                    pct(wave["utilization"]),
+                    f"{wave['egress_bytes'] / 1e6:.1f}",
+                )
+                for system, wave in report["systems"].items()
+            ],
+        )
+    )
+    return 0
+
+
 def cmd_deploy(args) -> int:
     """Deploy one series under Docker, Gear, and Slacker."""
+    if args.clients > 1 or args.concurrency:
+        return _cmd_deploy_fleet(args)
     corpus = _corpus(args, series=(args.target,))
     images = corpus.by_series[args.target]
     plan = _fault_plan(args)
@@ -197,6 +262,18 @@ def build_parser() -> argparse.ArgumentParser:
                             help="deploy a series under all systems")
     deploy.add_argument("--target", default="nginx")
     deploy.add_argument("--bandwidth", type=float, default=100.0)
+    fleet = deploy.add_argument_group(
+        "fleet contention",
+        "deploy one image from N clients at once; transfers fair-share "
+        "the registry uplink and the report carries latency percentiles",
+    )
+    fleet.add_argument("--clients", type=int, default=1,
+                       help="number of client nodes (1 = classic mode)")
+    fleet.add_argument("--concurrency", type=int, default=0,
+                       help="clients deploying simultaneously per wave "
+                            "(default: all of them)")
+    fleet.add_argument("--json", action="store_true",
+                       help="emit the fleet report as one JSON line")
     faults = deploy.add_argument_group(
         "fault injection",
         "deterministic wire faults (off by default; any flag enables "

@@ -1,4 +1,4 @@
-"""A simulated clock.
+"""A simulated clock and a deterministic discrete-event scheduler.
 
 All performance numbers in the reproduction (conversion times, pull/run
 deployment phases, service throughput) are accounted on a virtual clock
@@ -6,46 +6,105 @@ rather than wall time, so results are exact, deterministic, and independent
 of the host machine.  Components that consume time (disks, network links,
 task models) call :meth:`SimClock.advance`; experiment harnesses read
 :attr:`SimClock.now` before and after an operation to time it.
+
+Two execution regimes share the same clock:
+
+* **Sequential (the seed model).**  With no scheduler attached,
+  :meth:`SimClock.advance` simply adds to ``now`` — the degenerate
+  single-process case.  Every call site written against the original
+  sequential clock runs unchanged and produces byte-identical timings.
+* **Discrete-event (fleet experiments).**  A :class:`SimScheduler`
+  attached to the clock turns ``advance`` calls made *inside a simulated
+  process* into event-heap sleeps, so N processes (concurrent client
+  deployments, background prefetchers) interleave over virtual time.
+  Events are ordered by ``(time, seq)`` — ties broken by scheduling
+  order — so runs are exactly reproducible.
+
+Processes come in two flavours:
+
+* **generator processes** — ``yield`` a delay in seconds, another
+  :class:`Process` (join), or a :class:`SimEvent`; resumed by the
+  scheduler with deterministic ordering;
+* **call processes** — a plain callable executed on a worker thread with
+  *strict handoff*: exactly one thread (the scheduler loop or one
+  process) ever runs at a time, so existing synchronous code — deep
+  call stacks through daemons, drivers, viewers, and links — becomes a
+  schedulable task without rewriting, and determinism is preserved.
 """
 
 from __future__ import annotations
 
-from typing import List, Tuple
+import heapq
+import itertools
+import threading
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+
+class SchedulerError(RuntimeError):
+    """The scheduler was asked for something impossible (deadlock, reuse)."""
 
 
 class SimClock:
     """A monotonically advancing virtual clock with optional event trace.
 
-    The clock is deliberately simple: the simulation is sequential (one
-    client deploying containers against registries), so a full discrete
-    event queue is unnecessary; each cost model just advances the shared
-    clock by the time its operation takes.
+    Without an attached :class:`SimScheduler` the clock is deliberately
+    simple: the simulation is sequential (one client deploying containers
+    against registries), so each cost model just advances the shared
+    clock by the time its operation takes.  With a scheduler attached,
+    ``advance`` calls made from within a simulated process suspend that
+    process instead, letting other processes run in the meantime.
     """
 
-    __slots__ = ("_now", "_trace", "_tracing")
+    __slots__ = ("_now", "_trace", "_tracing", "_scheduler")
 
     def __init__(self, *, trace: bool = False) -> None:
         self._now: float = 0.0
         self._tracing = trace
         self._trace: List[Tuple[float, str]] = []
+        self._scheduler: Optional["SimScheduler"] = None
 
     @property
     def now(self) -> float:
         """Current virtual time in seconds since the clock was created."""
         return self._now
 
+    @property
+    def scheduler(self) -> Optional["SimScheduler"]:
+        """The attached discrete-event scheduler (None in sequential mode)."""
+        return self._scheduler
+
     def advance(self, seconds: float, label: str = "") -> float:
         """Advance the clock by ``seconds`` and return the new time.
 
         ``seconds`` must be non-negative; cost models must never produce
-        negative durations.
+        negative durations.  Inside a scheduler process this suspends
+        the calling process until virtual time has moved ``seconds``
+        ahead; other processes run in the gap.
         """
         if seconds < 0:
             raise ValueError(f"cannot advance clock by {seconds} s")
+        scheduler = self._scheduler
+        if scheduler is not None:
+            process = scheduler._running_process()
+            if process is not None:
+                return scheduler._process_sleep(process, seconds, label)
         self._now += seconds
         if self._tracing and label:
             self._trace.append((self._now, label))
         return self._now
+
+    def note(self, label: str) -> None:
+        """Record a trace event at the current time (when tracing)."""
+        if self._tracing and label:
+            self._trace.append((self._now, label))
+
+    def _jump_to(self, timestamp: float) -> None:
+        """Scheduler hook: set ``now`` to an event's timestamp."""
+        if timestamp < self._now:
+            raise SchedulerError(
+                f"event at t={timestamp!r} is in the past (now={self._now!r})"
+            )
+        self._now = timestamp
 
     def reset(self) -> None:
         """Reset virtual time to zero and clear any trace."""
@@ -88,3 +147,373 @@ class Stopwatch:
         lap = self.elapsed()
         self._start = self._clock.now
         return lap
+
+
+class _Event:
+    """One heap entry: an action to run at a virtual timestamp."""
+
+    __slots__ = ("time", "seq", "action", "cancelled")
+
+    def __init__(self, time: float, seq: int, action: Callable[[], None]) -> None:
+        self.time = time
+        self.seq = seq
+        self.action = action
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Mark the event dead; the loop skips it when popped."""
+        self.cancelled = True
+
+    def __lt__(self, other: "_Event") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Process:
+    """One schedulable activity: a generator or a thread-backed callable."""
+
+    __slots__ = (
+        "scheduler", "name", "_gen", "_thread", "_resume",
+        "result", "error", "_done", "_waiters", "started_at", "finished_at",
+    )
+
+    def __init__(self, scheduler: "SimScheduler", name: str) -> None:
+        self.scheduler = scheduler
+        self.name = name
+        self._gen = None
+        self._thread: Optional[threading.Thread] = None
+        self._resume: Optional[threading.Event] = None
+        self.result: Any = None
+        self.error: Optional[BaseException] = None
+        self._done = False
+        self._waiters: List["Process"] = []
+        self.started_at: Optional[float] = None
+        self.finished_at: Optional[float] = None
+
+    @property
+    def done(self) -> bool:
+        """True once the process has finished (normally or with an error)."""
+        return self._done
+
+    def join(self) -> "Process":
+        """Wait for this process to finish.
+
+        From inside another process this suspends the caller; from the
+        main thread it runs the event loop until this process completes.
+        Returns ``self`` so callers can read ``result``/``error``.
+        """
+        return self.scheduler.join(self)
+
+    def __repr__(self) -> str:
+        state = "done" if self._done else "running"
+        return f"Process({self.name!r}, {state})"
+
+
+class SimEvent:
+    """A one-shot condition processes can wait on (e.g. single-flight).
+
+    ``wait()`` suspends the calling process until someone calls
+    ``fire()``; generator processes can ``yield`` the event instead.
+    Firing an already-fired event is a no-op; waiting on a fired event
+    returns immediately.
+    """
+
+    __slots__ = ("clock", "_fired", "_waiters")
+
+    def __init__(self, clock: SimClock) -> None:
+        self.clock = clock
+        self._fired = False
+        self._waiters: List[Process] = []
+
+    @property
+    def fired(self) -> bool:
+        return self._fired
+
+    def fire(self) -> None:
+        """Mark the condition true and wake every waiter."""
+        if self._fired:
+            return
+        self._fired = True
+        scheduler = self.clock.scheduler
+        waiters, self._waiters = self._waiters, []
+        if scheduler is not None:
+            for process in waiters:
+                scheduler._wake(process)
+
+    def wait(self) -> None:
+        """Block the calling process until the event fires."""
+        if self._fired:
+            return
+        scheduler = self.clock.scheduler
+        process = scheduler._running_process() if scheduler else None
+        if process is None:
+            raise SchedulerError(
+                "waiting on an unfired SimEvent outside a process would "
+                "deadlock the simulation"
+            )
+        self._waiters.append(process)
+        scheduler._suspend(process)
+
+    def _add_waiter(self, process: Process) -> bool:
+        """Generator-yield hook: register, or report already-fired."""
+        if self._fired:
+            return False
+        self._waiters.append(process)
+        return True
+
+
+class SimScheduler:
+    """A deterministic discrete-event scheduler over a :class:`SimClock`.
+
+    The event heap orders actions by ``(time, seq)``; ``seq`` is a
+    monotone counter, so events scheduled earlier run first among ties —
+    runs with identical inputs replay identically.  Exactly one activity
+    (the loop or one process) executes at any instant, so shared state
+    needs no locking and interleavings are reproducible.
+
+    Use as a context manager to guarantee detachment from the clock::
+
+        with SimScheduler(clock) as scheduler:
+            procs = [scheduler.spawn(deploy, node) for node in nodes]
+            scheduler.run()
+    """
+
+    def __init__(self, clock: SimClock) -> None:
+        if clock._scheduler is not None:
+            raise SchedulerError("clock already has an attached scheduler")
+        self.clock = clock
+        clock._scheduler = self
+        self._heap: List[_Event] = []
+        self._seq = itertools.count()
+        self._processes: List[Process] = []
+        self._thread_procs: Dict[int, Process] = {}
+        self._loop_wake = threading.Event()
+        self._closed = False
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def close(self) -> None:
+        """Detach from the clock; the clock reverts to sequential mode."""
+        if not self._closed:
+            self._closed = True
+            if self.clock._scheduler is self:
+                self.clock._scheduler = None
+
+    def __enter__(self) -> "SimScheduler":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- scheduling --------------------------------------------------------
+
+    def schedule(self, delay: float, action: Callable[[], None]) -> _Event:
+        """Run ``action`` ``delay`` virtual seconds from now."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule {delay} s in the past")
+        event = _Event(self.clock.now + delay, next(self._seq), action)
+        heapq.heappush(self._heap, event)
+        return event
+
+    def spawn(self, target: Any, *args: Any, name: str = "", **kwargs: Any) -> Process:
+        """Start a new process at the current virtual time.
+
+        ``target`` may be a generator function (or generator object) —
+        stepped by the scheduler, yielding delays / processes / events —
+        or any plain callable, which runs on a strict-handoff worker
+        thread so ordinary synchronous code (clock advances, link
+        transfers deep in the call stack) becomes schedulable unchanged.
+        """
+        if self._closed:
+            raise SchedulerError("scheduler is closed")
+        process = Process(self, name or f"proc-{len(self._processes)}")
+        self._processes.append(process)
+        generator = None
+        if hasattr(target, "send") and hasattr(target, "throw"):
+            generator = target
+        else:
+            import inspect
+
+            if inspect.isgeneratorfunction(target):
+                generator = target(*args, **kwargs)
+        if generator is not None:
+            process._gen = generator
+            self.schedule(0.0, lambda: self._step_gen(process, None))
+        else:
+            process._resume = threading.Event()
+            thread = threading.Thread(
+                target=self._call_process_main,
+                args=(process, target, args, kwargs),
+                name=f"sim:{process.name}",
+                daemon=True,
+            )
+            process._thread = thread
+            thread.start()
+            self._thread_procs[thread.ident] = process
+            self.schedule(0.0, lambda: self._grant(process))
+        return process
+
+    # -- the event loop ----------------------------------------------------
+
+    def run(self) -> None:
+        """Drain the event heap (must be called from outside any process).
+
+        Raises the first error any process died with, after the heap has
+        drained so sibling processes still finish deterministically.
+        """
+        self._run_loop(lambda: False)
+        self._raise_process_errors()
+
+    def run_until(self, process: Process) -> Process:
+        """Run the loop until ``process`` completes, then return it."""
+        self._run_loop(lambda: process._done)
+        if not process._done:
+            raise SchedulerError(
+                f"event heap drained but {process!r} never finished "
+                f"(deadlocked on an unfired wait?)"
+            )
+        if process.error is not None:
+            raise process.error
+        return process
+
+    def join(self, process: Process) -> Process:
+        """Wait for ``process``: suspend the caller, or run the loop."""
+        current = self._running_process()
+        if current is None:
+            if not process._done:
+                return self.run_until(process)
+            if process.error is not None:
+                raise process.error
+            return process
+        if current is process:
+            raise SchedulerError("a process cannot join itself")
+        if not process._done:
+            process._waiters.append(current)
+            self._suspend(current)
+        return process
+
+    def _run_loop(self, should_stop: Callable[[], bool]) -> None:
+        if self._running_process() is not None:
+            raise SchedulerError("run() called from inside a process")
+        while self._heap and not should_stop():
+            event = heapq.heappop(self._heap)
+            if event.cancelled:
+                continue
+            self.clock._jump_to(event.time)
+            event.action()
+
+    def _raise_process_errors(self) -> None:
+        for process in self._processes:
+            if process.error is not None:
+                error, process.error = process.error, None
+                raise error
+
+    # -- process internals -------------------------------------------------
+
+    def _running_process(self) -> Optional[Process]:
+        """The call process owning the current thread, if any."""
+        return self._thread_procs.get(threading.get_ident())
+
+    def _process_sleep(self, process: Process, seconds: float, label: str) -> float:
+        """Suspend a call process for ``seconds`` of virtual time."""
+        self.schedule(seconds, lambda: self._grant(process))
+        self._suspend(process)
+        self.clock.note(label)
+        return self.clock.now
+
+    def _suspend(self, process: Process) -> None:
+        """Hand control to the loop; return when the process is regranted."""
+        process._resume.clear()
+        self._loop_wake.set()
+        process._resume.wait()
+
+    def _grant(self, process: Process) -> None:
+        """Loop-side handoff: let ``process`` run until it yields back."""
+        self._loop_wake.clear()
+        process._resume.set()
+        self._loop_wake.wait()
+
+    def _wake(self, process: Process, value: Any = None) -> None:
+        """Schedule ``process`` to resume now (used by events and flows)."""
+        if process._gen is not None:
+            self.schedule(0.0, lambda: self._step_gen(process, value))
+        else:
+            self.schedule(0.0, lambda: self._grant(process))
+
+    def _call_process_main(
+        self,
+        process: Process,
+        fn: Callable[..., Any],
+        args: Tuple[Any, ...],
+        kwargs: Dict[str, Any],
+    ) -> None:
+        process._resume.wait()  # first grant: the spawn event fired
+        process.started_at = self.clock.now
+        try:
+            process.result = fn(*args, **kwargs)
+        except BaseException as error:  # noqa: BLE001 - reported via run()
+            process.error = error
+        self._finish(process)
+        self._loop_wake.set()  # hand control back; the thread exits
+
+    def _finish(self, process: Process) -> None:
+        process._done = True
+        process.finished_at = self.clock.now
+        waiters, process._waiters = process._waiters, []
+        for waiter in waiters:
+            self._wake(waiter, process.result)
+        if process._thread is not None:
+            self._thread_procs.pop(process._thread.ident, None)
+
+    def _step_gen(self, process: Process, sendval: Any) -> None:
+        """Advance a generator process by one yield."""
+        process.started_at = (
+            self.clock.now if process.started_at is None else process.started_at
+        )
+        try:
+            item = process._gen.send(sendval)
+        except StopIteration as stop:
+            process.result = stop.value
+            self._finish(process)
+            return
+        except BaseException as error:  # noqa: BLE001 - reported via run()
+            process.error = error
+            self._finish(process)
+            return
+        if item is None:
+            self.schedule(0.0, lambda: self._step_gen(process, None))
+        elif isinstance(item, (int, float)):
+            if item < 0:
+                self._throw_gen(process, ValueError(f"cannot sleep {item} s"))
+            else:
+                self.schedule(float(item), lambda: self._step_gen(process, None))
+        elif isinstance(item, Process):
+            if item._done:
+                self.schedule(0.0, lambda: self._step_gen(process, item.result))
+            else:
+                item._waiters.append(process)
+        elif isinstance(item, SimEvent):
+            if not item._add_waiter(process):
+                self.schedule(0.0, lambda: self._step_gen(process, None))
+        else:
+            self._throw_gen(
+                process,
+                TypeError(
+                    f"process {process.name!r} yielded {item!r}; expected a "
+                    f"delay, a Process, or a SimEvent"
+                ),
+            )
+
+    def _throw_gen(self, process: Process, error: BaseException) -> None:
+        try:
+            process._gen.throw(error)
+        except StopIteration as stop:
+            process.result = stop.value
+        except BaseException as raised:  # noqa: BLE001 - reported via run()
+            process.error = raised
+        self._finish(process)
+
+    def __repr__(self) -> str:
+        return (
+            f"SimScheduler(now={self.clock.now:.6f}, "
+            f"pending={len(self._heap)}, processes={len(self._processes)})"
+        )

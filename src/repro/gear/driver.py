@@ -22,7 +22,7 @@ import itertools
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from repro.common.clock import SimClock
+from repro.common.clock import Process, SimClock
 from repro.common.errors import GearError, NotFoundError, ReproError
 from repro.docker.container import ContainerState
 from repro.docker.daemon import (
@@ -35,6 +35,7 @@ from repro.docker.image import Image
 from repro.gear.gearfile import GearFile
 from repro.gear.index import GearFileEntry, GearIndex, STUB_XATTR
 from repro.gear.pool import SharedFilePool
+from repro.gear.prefetch import StartupProfile, replay_profile
 from repro.gear.viewer import GearFileViewer
 from repro.net.transport import RpcTransport
 from repro.vfs.tree import FileSystemTree
@@ -246,16 +247,57 @@ class GearDriver:
         self.clock.advance(CONTAINER_START_COST_S, f"start:{container.id}")
         container.start()
 
-    def deploy(self, reference: str) -> "tuple[GearContainer, GearDeployReport]":
+    def deploy(
+        self,
+        reference: str,
+        *,
+        profile: Optional[StartupProfile] = None,
+        byte_budget: Optional[int] = None,
+    ) -> "tuple[GearContainer, GearDeployReport]":
         """The full §III-D flow: pull index, mount, start.
 
         Gear files are *not* fetched here — that is the whole point; they
-        fault in lazily as the workload touches them.
+        fault in lazily as the workload touches them.  With a startup
+        ``profile`` (and an active scheduler) a background prefetcher is
+        spawned right after start, so profiled files stream in while the
+        container's own workload runs.
         """
         report = self.pull_index(reference)
         container = self.create_container(reference)
         self.start_container(container)
+        if profile is not None:
+            self.spawn_prefetch(container, profile, byte_budget=byte_budget)
         return container, report
+
+    def spawn_prefetch(
+        self,
+        container: GearContainer,
+        profile: StartupProfile,
+        *,
+        byte_budget: Optional[int] = None,
+    ) -> Process:
+        """Replay ``profile`` through the container's mount concurrently.
+
+        Requires a :class:`~repro.common.clock.SimScheduler` attached to
+        the clock; returns the background process so callers can join it
+        (its ``result`` is the :class:`~repro.gear.prefetch.PrefetchReport`).
+        Downloads overlap the startup trace — concurrent faults on the
+        same file coalesce through the pool's single-flight registry.
+        """
+        scheduler = self.clock.scheduler
+        if scheduler is None:
+            raise GearError(
+                "spawn_prefetch needs an active SimScheduler on the clock; "
+                "use Prefetcher.prefetch for the sequential (blocking) path"
+            )
+        if byte_budget is not None:
+            profile = profile.head_by_bytes(byte_budget)
+        return scheduler.spawn(
+            replay_profile,
+            container.mount,
+            profile,
+            name=f"prefetch:{container.id}",
+        )
 
     def destroy_container(self, container: GearContainer) -> float:
         """Stop and remove a container: only its level-3 diff dies.

@@ -18,6 +18,7 @@ import enum
 from collections import OrderedDict
 from typing import Dict, Iterator, Optional, Set
 
+from repro.common.clock import SimEvent
 from repro.common.errors import IntegrityError, StorageError
 from repro.gear.gearfile import GearFile
 from repro.vfs.inode import FileKind, Inode, Metadata
@@ -54,6 +55,12 @@ class SharedFilePool:
         #: Identities whose last download failed verification; cleared
         #: when a verified copy finally lands.
         self._quarantined: Set[str] = set()
+        #: Single-flight registry: identity → SimEvent fired when the
+        #: in-progress fetch lands.  Only populated under a scheduler —
+        #: concurrent faults on one identity (a prefetcher racing the
+        #: startup task) wait for the first fetch instead of duplicating
+        #: the download.
+        self.inflight: Dict[str, "SimEvent"] = {}
 
     # -- lookup ------------------------------------------------------------
 

@@ -91,6 +91,32 @@ class PrefetchReport:
     cache_hits: int = 0
 
 
+def replay_profile(
+    viewer: GearFileViewer, profile: StartupProfile
+) -> PrefetchReport:
+    """Fault every profiled file in through ``viewer``'s ordinary path.
+
+    Cache sharing, hard linking, and network accounting behave exactly
+    as demand fetches do — prefetching only *moves* the cost off the
+    critical path.  Run it as a scheduler process (see
+    :meth:`GearDriver.spawn_prefetch <repro.gear.driver.GearDriver.spawn_prefetch>`)
+    and it overlaps the startup trace instead of preceding it: the
+    single-flight pool registry makes a prefetcher racing the task wait
+    for in-flight downloads rather than duplicating them.
+    """
+    report = PrefetchReport(reference=profile.reference)
+    for path, size in profile.entries:
+        if not viewer.exists(path):
+            continue
+        hits_before = viewer.fault_stats.cache_hits
+        viewer.prefetch(path)
+        report.files_prefetched += 1
+        report.bytes_prefetched += size
+        if viewer.fault_stats.cache_hits > hits_before:
+            report.cache_hits += 1
+    return report
+
+
 class Prefetcher:
     """Warms a viewer's cache from a startup profile."""
 
@@ -104,25 +130,10 @@ class Prefetcher:
         *,
         byte_budget: Optional[int] = None,
     ) -> PrefetchReport:
-        """Fault the profiled files in ahead of demand.
-
-        Uses the viewer's ordinary fault path, so cache sharing, hard
-        linking, and network accounting behave exactly as demand fetches
-        do — prefetching only *moves* the cost off the critical path.
-        """
-        report = PrefetchReport(reference=reference)
+        """Fault the profiled files in ahead of demand."""
         profile = self.recorder.profile_for(reference)
         if profile is None:
-            return report
+            return PrefetchReport(reference=reference)
         if byte_budget is not None:
             profile = profile.head_by_bytes(byte_budget)
-        for path, size in profile.entries:
-            if not viewer.exists(path):
-                continue
-            hits_before = viewer.fault_stats.cache_hits
-            viewer.prefetch(path)
-            report.files_prefetched += 1
-            report.bytes_prefetched += size
-            if viewer.fault_stats.cache_hits > hits_before:
-                report.cache_hits += 1
-        return report
+        return replay_profile(viewer, profile)

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
+from repro.common.clock import SimEvent
 from repro.common.errors import (
     GearError,
     IntegrityError,
@@ -110,9 +111,41 @@ class GearFileViewer(OverlayMount):
             raise GearError(f"stub at {path!r} has no index entry")
         self.fault_stats.faults += 1
         inode = self.pool.get(entry.identity)
+        if inode is None:
+            # Another process (a concurrent prefetcher or a sibling
+            # container) may already be downloading this identity; wait
+            # for its fetch to land rather than duplicating the bytes.
+            inflight = self.pool.inflight.get(entry.identity)
+            if inflight is not None:
+                inflight.wait()
+                inode = self.pool.get(entry.identity)
         if inode is not None:
             self.fault_stats.cache_hits += 1
         else:
+            inode = self._fault_in(entry)
+        # Hard-link the real file over the stub so the index serves it
+        # directly from now on.
+        inode.meta.mode = entry.mode
+        self.index.tree.link_inode(path, inode, replace=True)
+        if self.disk is not None:
+            self.disk.metadata_op(1, label="index-link")
+        self.fault_stats.linked_bytes += inode.size
+        return inode
+
+    def _fault_in(self, entry: GearFileEntry) -> Inode:
+        """Download, verify, and cache one Gear file (single-flight).
+
+        Under a scheduler the fetch is registered in the pool's inflight
+        table so concurrent faults on the same identity wait for this
+        download instead of re-paying the wire; sequentially the table
+        is never consulted mid-call and behaviour is byte-identical.
+        """
+        announce: Optional[SimEvent] = None
+        clock = self.transport.link.clock if self.transport is not None else None
+        if clock is not None and clock.scheduler is not None:
+            announce = SimEvent(clock)
+            self.pool.inflight[entry.identity] = announce
+        try:
             gear_file = self._fetch_remote(entry)
             inode = self.pool.insert(gear_file)
             self.fault_stats.remote_fetches += 1
@@ -124,14 +157,12 @@ class GearFileViewer(OverlayMount):
                     gear_file.size / DECOMPRESS_BPS, "gear-gunzip"
                 )
                 self.disk.write(gear_file.size, file_ops=1, label="pool-store")
-        # Hard-link the real file over the stub so the index serves it
-        # directly from now on.
-        inode.meta.mode = entry.mode
-        self.index.tree.link_inode(path, inode, replace=True)
-        if self.disk is not None:
-            self.disk.metadata_op(1, label="index-link")
-        self.fault_stats.linked_bytes += inode.size
-        return inode
+            return inode
+        finally:
+            if announce is not None:
+                if self.pool.inflight.get(entry.identity) is announce:
+                    del self.pool.inflight[entry.identity]
+                announce.fire()
 
     def _fetch_remote(self, entry: GearFileEntry) -> GearFile:
         identity = entry.identity

@@ -23,8 +23,9 @@ deploy times exactly the way it would on real hardware.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.common.clock import SimClock
 from repro.common.errors import TimeoutError, UnavailableError
@@ -162,7 +163,10 @@ class FaultyLink(Link):
         self.plan = plan
         self.fault_stats = LinkFaultStats()
         self._rng = rng_for("net-faults", plan.seed)
-        self._scope: Optional[str] = None
+        #: Per-thread call scopes: under a SimScheduler each concurrent
+        #: client process carries its own RPC scope, so interleaved calls
+        #: cannot clobber one another's endpoint targeting.
+        self._scopes: Dict[int, str] = {}
         self._armed_at: Optional[float] = clock.now
 
     # -- arming ------------------------------------------------------------
@@ -192,14 +196,20 @@ class FaultyLink(Link):
     # -- call scoping (set by RpcTransport) --------------------------------
 
     def begin_call(self, endpoint_name: str) -> None:
-        self._scope = endpoint_name
+        self._scopes[threading.get_ident()] = endpoint_name
 
     def end_call(self) -> None:
-        self._scope = None
+        self._scopes.pop(threading.get_ident(), None)
+
+    @property
+    def _scope(self) -> Optional[str]:
+        """The endpoint the calling process is currently talking to."""
+        return self._scopes.get(threading.get_ident())
 
     @property
     def _active(self) -> bool:
-        return self._scope is not None and self.plan.applies_to(self._scope)
+        scope = self._scope
+        return scope is not None and self.plan.applies_to(scope)
 
     # -- fault injection -----------------------------------------------------
 

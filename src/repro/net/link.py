@@ -1,12 +1,30 @@
-"""Bandwidth/latency link model."""
+"""Bandwidth/latency link model with flow-based contention.
+
+In sequential mode (no :class:`~repro.common.clock.SimScheduler`
+attached to the clock) a transfer blocks the world and advances the
+clock by the closed-form cost — the seed model, byte-identical.
+
+Inside a scheduler process a transfer becomes a *flow*: while N flows
+are active on the link they fair-share its capacity (processor
+sharing), so concurrent client deployments contend for the registry
+uplink exactly the way the paper's §I fleet motivation describes.  A
+flow's service demand is its nominal sequential duration
+(``rtt + overhead + payload / bandwidth``); with a single active flow it
+completes in exactly that time, reproducing the seed formula to the
+bit, and with N flows each progresses at 1/N of real time.
+"""
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
 from typing import List, Optional
 
-from repro.common.clock import SimClock
+from repro.common.clock import Process, SimClock, SimScheduler
 from repro.common.units import Mbps, mbps_to_bytes_per_s
+
+#: Remaining service below this many seconds counts as complete (guards
+#: against float drift when shares are subtracted incrementally).
+_FLOW_EPS = 1e-12
 
 
 @dataclass
@@ -25,13 +43,31 @@ class TransferRecord:
 
 @dataclass
 class TransferLog:
-    """Accumulated traffic accounting for an experiment."""
+    """Accumulated traffic accounting for an experiment.
+
+    Totals are maintained as running counters on :meth:`append` — they
+    are read inside deploy loops, so re-summing the record list on every
+    access would make accounting quadratic in experiment length.
+    """
 
     records: List[TransferRecord] = field(default_factory=list)
+    _total_bytes: int = field(default=0, init=False, repr=False)
+    _total_time: float = field(default=0.0, init=False, repr=False)
+
+    def __post_init__(self) -> None:
+        for record in self.records:
+            self._total_bytes += record.payload_bytes
+            self._total_time += record.duration
+
+    def append(self, record: TransferRecord) -> None:
+        """Record a completed transfer, updating the running totals."""
+        self.records.append(record)
+        self._total_bytes += record.payload_bytes
+        self._total_time += record.duration
 
     @property
     def total_bytes(self) -> int:
-        return sum(record.payload_bytes for record in self.records)
+        return self._total_bytes
 
     @property
     def total_requests(self) -> int:
@@ -39,16 +75,35 @@ class TransferLog:
 
     @property
     def total_time(self) -> float:
-        return sum(record.duration for record in self.records)
+        return self._total_time
 
     def clear(self) -> None:
         self.records.clear()
+        self._total_bytes = 0
+        self._total_time = 0.0
+
+
+class _Flow:
+    """One in-flight transfer under processor sharing."""
+
+    __slots__ = ("remaining_s", "nominal_s", "start", "payload_bytes",
+                 "label", "waiters", "contended")
+
+    def __init__(self, nominal_s: float, start: float, payload_bytes: int,
+                 label: str) -> None:
+        self.remaining_s = nominal_s
+        self.nominal_s = nominal_s
+        self.start = start
+        self.payload_bytes = payload_bytes
+        self.label = label
+        self.waiters: List[Process] = []
+        self.contended = False
 
 
 class Link:
     """A duplex point-to-point link with bandwidth and per-request cost.
 
-    ``transfer`` advances the shared clock by::
+    ``transfer`` costs::
 
         rtt + request_overhead + payload / bandwidth
 
@@ -59,6 +114,9 @@ class Link:
       that punishes block-granular lazy pulls (Slacker) relative to
       file-granular ones (Gear);
     * payload time scales inversely with the configured bandwidth.
+
+    Concurrent transfers (scheduler processes) fair-share the link; see
+    the module docstring for the contention model.
     """
 
     def __init__(
@@ -78,13 +136,33 @@ class Link:
         self.rtt_s = rtt_s
         self.request_overhead_s = request_overhead_s
         self.log = TransferLog()
+        #: Active flows (scheduler mode only), in arrival order.
+        self._flows: List[_Flow] = []
+        self._last_update = clock.now
+        self._completion_event = None
+        #: Cumulative seconds the link spent carrying at least one
+        #: transfer — the occupancy operators provision uplinks for.
+        self._busy_s = 0.0
+        self._busy_since: Optional[float] = None
 
     @property
     def bytes_per_second(self) -> float:
         return mbps_to_bytes_per_s(self.bandwidth_mbps)
 
+    @property
+    def active_flows(self) -> int:
+        """Number of transfers currently sharing the link."""
+        return len(self._flows)
+
+    @property
+    def busy_seconds(self) -> float:
+        """Total virtual time the link spent with ≥1 transfer in flight."""
+        if self._busy_since is not None:
+            return self._busy_s + (self.clock.now - self._busy_since)
+        return self._busy_s
+
     def transfer_time(self, payload_bytes: int) -> float:
-        """Time one transfer of ``payload_bytes`` would take (no clock)."""
+        """Time one uncontended transfer of ``payload_bytes`` takes."""
         if payload_bytes < 0:
             raise ValueError(f"payload must be non-negative, got {payload_bytes}")
         return (
@@ -94,11 +172,62 @@ class Link:
         )
 
     def transfer(self, payload_bytes: int, label: str = "") -> float:
-        """Perform a transfer: advance the clock, log it, return duration."""
+        """Perform a transfer: advance the clock, log it, return duration.
+
+        Sequentially this is the seed cost model verbatim.  Inside a
+        scheduler process the call suspends until the flow drains under
+        fair sharing; the returned (and logged) duration is the nominal
+        cost when the flow never shared the link — bit-identical to the
+        sequential model — and the actual stretched duration otherwise.
+        """
         duration = self.transfer_time(payload_bytes)
+        scheduler = self.clock.scheduler
+        process = scheduler._running_process() if scheduler is not None else None
+        if process is None:
+            start = self.clock.now
+            self.clock.advance(duration, label or f"transfer:{payload_bytes}B")
+            self._busy_s += duration
+            self.log.append(
+                TransferRecord(
+                    start=start,
+                    duration=duration,
+                    payload_bytes=payload_bytes,
+                    label=label,
+                )
+            )
+            return duration
+        return self._transfer_flow(scheduler, process, payload_bytes, duration, label)
+
+    def request(self, label: str = "") -> float:
+        """A zero-payload control request (e.g. existence query)."""
+        return self.transfer(0, label or "request")
+
+    # -- processor-sharing flows (scheduler mode) --------------------------
+
+    def _transfer_flow(
+        self,
+        scheduler: SimScheduler,
+        process: Process,
+        payload_bytes: int,
+        nominal_s: float,
+        label: str,
+    ) -> float:
         start = self.clock.now
-        self.clock.advance(duration, label or f"transfer:{payload_bytes}B")
-        self.log.records.append(
+        self._progress_flows()
+        flow = _Flow(nominal_s, start, payload_bytes, label)
+        self._flows.append(flow)
+        if len(self._flows) > 1:
+            for active in self._flows:
+                active.contended = True
+        elif self._busy_since is None:
+            self._busy_since = start
+        flow.waiters.append(process)
+        self._reschedule(scheduler)
+        scheduler._suspend(process)
+        elapsed = self.clock.now - start
+        duration = flow.nominal_s if not flow.contended else elapsed
+        self.clock.note(label or f"transfer:{payload_bytes}B")
+        self.log.append(
             TransferRecord(
                 start=start,
                 duration=duration,
@@ -108,9 +237,49 @@ class Link:
         )
         return duration
 
-    def request(self, label: str = "") -> float:
-        """A zero-payload control request (e.g. existence query)."""
-        return self.transfer(0, label or "request")
+    def _progress_flows(self) -> None:
+        """Charge elapsed time against every active flow's remainder."""
+        now = self.clock.now
+        if self._flows:
+            dt = now - self._last_update
+            if dt > 0:
+                share = dt / len(self._flows)
+                for flow in self._flows:
+                    flow.remaining_s -= share
+        self._last_update = now
+
+    def _reschedule(self, scheduler: SimScheduler) -> None:
+        """(Re)arm the completion event for the earliest-finishing flow."""
+        if self._completion_event is not None:
+            self._completion_event.cancel()
+            self._completion_event = None
+        if not self._flows:
+            if self._busy_since is not None:
+                self._busy_s += self.clock.now - self._busy_since
+                self._busy_since = None
+            return
+        count = len(self._flows)
+        shortest = min(flow.remaining_s for flow in self._flows)
+        delay = max(shortest, 0.0) * count
+        self._completion_event = scheduler.schedule(
+            delay, lambda: self._complete_due_flows(scheduler)
+        )
+
+    def _complete_due_flows(self, scheduler: SimScheduler) -> None:
+        self._completion_event = None
+        self._progress_flows()
+        done = [flow for flow in self._flows if flow.remaining_s <= _FLOW_EPS]
+        if not done:
+            # Float drift left the designated flow epsilon short; it is
+            # due by construction of the completion event.
+            forced = min(self._flows, key=lambda flow: flow.remaining_s)
+            forced.remaining_s = 0.0
+            done = [forced]
+        for flow in done:
+            self._flows.remove(flow)
+            for process in flow.waiters:
+                scheduler._wake(process)
+        self._reschedule(scheduler)
 
     def with_bandwidth(self, bandwidth_mbps: float) -> "Link":
         """A new link on the same clock with a different bandwidth."""

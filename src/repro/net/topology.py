@@ -6,22 +6,43 @@ pressure on the registry in terms of bandwidth" (§I).  This module models
 that pressure point: N clients share the registry node's finite uplink,
 so every byte a deployment downloads also consumes registry capacity.
 
-The model is intentionally simple and deterministic: clients act in
-sequence (a rolling deployment), each over its own access link, and the
-registry uplink accumulates utilization.  The cluster experiment then
-reports aggregate registry egress and the wall-clock cost of serving the
-whole fleet — where Gear's 84% bandwidth reduction translates directly
-into fleet capacity.
+Two deployment disciplines are supported:
+
+* :meth:`Cluster.each_node` — the seed model: clients act in sequence (a
+  rolling deployment) and the registry uplink accumulates utilization.
+  Deterministic and byte-identical to the original sequential clock.
+* :meth:`Cluster.deploy_wave` — concurrent waves: up to ``concurrency``
+  clients deploy simultaneously under a discrete-event scheduler, their
+  transfers fair-sharing the registry uplink.  The wave report carries
+  the numbers an operator provisions for — per-client deployment
+  latency percentiles (p50/p95/p99), fleet makespan, and registry-uplink
+  utilization over virtual time.  Runs are deterministic: the same
+  cluster and action produce identical reports.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+import math
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.bench.environment import Testbed, make_testbed
-from repro.common.clock import SimClock
-from repro.gear.pool import SharedFilePool
+from repro.common.clock import SimClock, SimScheduler
+
+
+def percentile(values: "List[float] | Tuple[float, ...]", q: float) -> float:
+    """Nearest-rank percentile (deterministic; no interpolation).
+
+    ``q`` is in [0, 100].  The nearest-rank definition keeps reports
+    reproducible byte-for-byte across runs and platforms.
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
 
 
 @dataclass
@@ -36,12 +57,67 @@ class ClientNode:
         return self.testbed.link.log.total_bytes
 
 
+@dataclass(frozen=True)
+class WaveReport:
+    """What one concurrent deployment wave cost, fleet-wide."""
+
+    concurrency: int
+    #: Per-node deployment latency, in node order.
+    latencies_s: Tuple[float, ...]
+    #: Virtual time from first wave start to last client completion.
+    makespan_s: float
+    #: Registry bytes served during the wave (all clients).
+    egress_bytes: int
+    #: Seconds the registry uplink spent carrying ≥1 transfer.
+    uplink_busy_s: float
+
+    @property
+    def p50_s(self) -> float:
+        return percentile(self.latencies_s, 50)
+
+    @property
+    def p95_s(self) -> float:
+        return percentile(self.latencies_s, 95)
+
+    @property
+    def p99_s(self) -> float:
+        return percentile(self.latencies_s, 99)
+
+    @property
+    def mean_s(self) -> float:
+        return sum(self.latencies_s) / len(self.latencies_s)
+
+    @property
+    def utilization(self) -> float:
+        """Fraction of the wave the registry uplink was transmitting."""
+        if self.makespan_s <= 0:
+            return 0.0
+        return self.uplink_busy_s / self.makespan_s
+
+    def as_dict(self) -> Dict[str, object]:
+        """A JSON-ready summary (used by the CLI determinism gate)."""
+        return {
+            "concurrency": self.concurrency,
+            "clients": len(self.latencies_s),
+            "p50_s": self.p50_s,
+            "p95_s": self.p95_s,
+            "p99_s": self.p99_s,
+            "mean_s": self.mean_s,
+            "makespan_s": self.makespan_s,
+            "egress_bytes": self.egress_bytes,
+            "uplink_busy_s": self.uplink_busy_s,
+            "utilization": self.utilization,
+        }
+
+
 class Cluster:
     """N client nodes against one registry pair.
 
     Every node gets its own daemon/driver/cache (its own machine) but all
     traffic crosses the shared registry endpoints, so registry-side
-    accounting (egress bytes, requests served) is fleet-wide.
+    accounting (egress bytes, requests served) is fleet-wide.  The shared
+    link *is* the registry uplink: concurrent flows fair-share its
+    ``bandwidth_mbps``.
     """
 
     def __init__(
@@ -97,3 +173,47 @@ class Cluster:
             action(node)
             per_node[node.name] = self.registry_egress_bytes - before
         return per_node
+
+    def deploy_wave(
+        self,
+        action: Callable[[ClientNode], None],
+        *,
+        concurrency: Optional[int] = None,
+    ) -> WaveReport:
+        """Run ``action`` on every node in concurrent waves.
+
+        ``concurrency`` clients start simultaneously; each wave waits for
+        the previous one to finish (a staged rollout).  The default is
+        all nodes at once.  Transfers from concurrent clients fair-share
+        the registry uplink, so per-client latency degrades with load —
+        the contention regime the sequential model cannot measure.
+        """
+        if concurrency is None:
+            concurrency = len(self.nodes)
+        if concurrency <= 0:
+            raise ValueError("concurrency must be positive")
+        clock = self.clock
+        link = self._root.link
+        start = clock.now
+        busy_before = link.busy_seconds
+        egress_before = self.registry_egress_bytes
+        latencies: Dict[str, float] = {}
+
+        def client(node: ClientNode) -> None:
+            begun = clock.now
+            action(node)
+            latencies[node.name] = clock.now - begun
+
+        with SimScheduler(clock) as scheduler:
+            for offset in range(0, len(self.nodes), concurrency):
+                for node in self.nodes[offset:offset + concurrency]:
+                    scheduler.spawn(client, node, name=node.name)
+                scheduler.run()
+
+        return WaveReport(
+            concurrency=concurrency,
+            latencies_s=tuple(latencies[node.name] for node in self.nodes),
+            makespan_s=clock.now - start,
+            egress_bytes=self.registry_egress_bytes - egress_before,
+            uplink_busy_s=link.busy_seconds - busy_before,
+        )

@@ -99,6 +99,16 @@ class RpcTransport:
             raise TransportError(f"no endpoint named {name!r}")
         return endpoint
 
+    def has_endpoint(self, name: str) -> bool:
+        """Whether an endpoint named ``name`` is bound to this transport.
+
+        The supported existence probe — callers must not catch
+        :class:`~repro.common.errors.TransportError` from
+        :meth:`endpoint` to test for presence, since that class also
+        covers wire faults.
+        """
+        return name in self._endpoints
+
     def call(
         self,
         endpoint_name: str,

@@ -12,8 +12,9 @@ class TestMakeTestbed:
     def test_default_topology(self, testbed):
         # Both registries are bound on the shared transport (§IV: "Gear
         # Registry and Docker Registry are deployed on the same node").
-        assert testbed.transport.endpoint("docker-registry")
-        assert testbed.transport.endpoint("gear-registry")
+        assert testbed.transport.has_endpoint("docker-registry")
+        assert testbed.transport.has_endpoint("gear-registry")
+        assert not testbed.transport.has_endpoint("unbound-service")
         assert testbed.link.bandwidth_mbps == 904
         assert testbed.daemon.clock is testbed.clock
         assert testbed.gear_driver.daemon is testbed.daemon

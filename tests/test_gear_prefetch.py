@@ -3,7 +3,8 @@
 import pytest
 
 from repro.bench.environment import make_testbed, publish_images
-from repro.bench.deploy import deploy_with_gear
+from repro.bench.deploy import deploy_with_gear, deploy_with_gear_overlapped
+from repro.common.errors import GearError
 from repro.gear.prefetch import Prefetcher, StartupProfile, TraceRecorder
 
 
@@ -112,6 +113,58 @@ class TestPrefetcher:
         # Files already linked into the shared index are not re-faulted;
         # anything faulted must have come from the pool, not the network.
         assert second.mount.fault_stats.remote_fetches == 0
+
+
+class TestOverlappedPrefetch:
+    def _recorded(self, env):
+        testbed, corpus = env
+        container, generated = deploy_and_run(testbed, corpus)
+        recorder = TraceRecorder()
+        recorder.record("nginx.gear:v1", container.mount)
+        return testbed, generated, recorder
+
+    def test_overlap_beats_demand_only_without_extra_bytes(self, small_corpus):
+        # Slow wire so fetch latency dominates and the overlap is visible.
+        testbed = make_testbed(bandwidth_mbps=20)
+        publish_images(testbed, small_corpus.images, convert=True)
+        testbed, generated, recorder = self._recorded((testbed, small_corpus))
+
+        demand = deploy_with_gear(
+            testbed.fresh_client(), generated, clear_cache=True
+        )
+        overlapped = deploy_with_gear_overlapped(
+            testbed.fresh_client(), generated, recorder, clear_cache=True
+        )
+        assert overlapped.system == "gear+overlap"
+        # Prefetch streams files while the task computes: strictly faster.
+        assert overlapped.run_s < demand.run_s
+        # The single-flight registry coalesces prefetch/demand races, so
+        # no byte travels twice.
+        assert overlapped.network_bytes == demand.network_bytes
+
+    def test_overlap_without_profile_matches_demand(self, env):
+        testbed, corpus = env
+        generated = corpus.get("nginx:v1")
+        demand = deploy_with_gear(
+            testbed.fresh_client(), generated, clear_cache=True
+        )
+        overlapped = deploy_with_gear_overlapped(
+            testbed.fresh_client(), generated, TraceRecorder(),
+            clear_cache=True,
+        )
+        # No profile -> nothing to overlap; costs are the seed's.
+        assert overlapped.run_s == demand.run_s
+        assert overlapped.network_bytes == demand.network_bytes
+
+    def test_spawn_prefetch_requires_scheduler(self, env):
+        testbed, generated, recorder = self._recorded(env)
+        driver = testbed.fresh_client().gear_driver
+        driver.pull_index("nginx.gear:v1")
+        container = driver.create_container("nginx.gear:v1")
+        with pytest.raises(GearError):
+            driver.spawn_prefetch(
+                container, recorder.profile_for("nginx.gear:v1")
+            )
 
 
 class TestSharingAnalysis:

@@ -56,6 +56,35 @@ class TestLink:
         link.transfer(100)
         link.log.clear()
         assert link.log.total_requests == 0
+        assert link.log.total_bytes == 0
+        assert link.log.total_time == 0.0
+
+
+class TestTransferLog:
+    def test_totals_are_running_counters(self):
+        # The totals are maintained on append (no per-query re-summing);
+        # they must still agree with a full walk of the records.
+        clock = SimClock()
+        link = Link(clock, bandwidth_mbps=8)
+        for payload in (100, 2_000, 30_000):
+            link.transfer(payload)
+        log = link.log
+        assert log.total_bytes == sum(r.payload_bytes for r in log.records)
+        assert log.total_time == sum(r.duration for r in log.records)
+        assert log.total_requests == len(log.records)
+
+    def test_preseeded_records_counted(self):
+        from repro.net.link import TransferLog, TransferRecord
+
+        log = TransferLog(
+            records=[
+                TransferRecord(start=0.0, duration=1.5, payload_bytes=10, label="a"),
+                TransferRecord(start=1.5, duration=0.5, payload_bytes=20, label="b"),
+            ]
+        )
+        assert log.total_bytes == 30
+        assert log.total_time == 2.0
+        assert log.total_requests == 2
 
 
 class TestTransport:
@@ -96,6 +125,11 @@ class TestTransport:
         transport.call("svc", "echo", 2)
         assert endpoint.stats.calls == 2
         assert endpoint.stats.response_bytes == 2000
+
+    def test_has_endpoint(self):
+        _, _, transport, _ = self.make()
+        assert transport.has_endpoint("svc")
+        assert not transport.has_endpoint("nope")
 
     def test_unknown_endpoint_and_method(self):
         _, _, transport, endpoint = self.make()

@@ -4,7 +4,7 @@ import pytest
 
 from repro.bench.deploy import deploy_with_docker, deploy_with_gear
 from repro.bench.environment import publish_images
-from repro.net.topology import Cluster
+from repro.net.topology import Cluster, percentile
 
 
 @pytest.fixture
@@ -83,3 +83,105 @@ class TestFleetDeployment:
             gear_cluster.registry_busy_seconds()
             < docker_cluster.registry_busy_seconds() * 0.6
         )
+
+
+class TestPercentile:
+    def test_nearest_rank(self):
+        values = [4.0, 1.0, 3.0, 2.0]
+        assert percentile(values, 50) == 2.0
+        assert percentile(values, 95) == 4.0
+        assert percentile(values, 100) == 4.0
+        assert percentile(values, 0) == 1.0
+
+    def test_single_value(self):
+        assert percentile([7.5], 99) == 7.5
+
+    def test_rejects_empty_and_out_of_range(self):
+        with pytest.raises(ValueError):
+            percentile([], 50)
+        with pytest.raises(ValueError):
+            percentile([1.0], 101)
+
+
+def _fresh_cluster(small_corpus, nodes=3):
+    cluster = Cluster(nodes, bandwidth_mbps=100)
+    publish_images(cluster.registry_testbed, small_corpus.images, convert=True)
+    return cluster
+
+
+class TestDeployWave:
+    def test_report_shape(self, cluster, small_corpus):
+        generated = small_corpus.get("nginx:v1")
+        wave = cluster.deploy_wave(
+            lambda node: deploy_with_docker(node.testbed, generated) and None
+        )
+        assert wave.concurrency == 3
+        assert len(wave.latencies_s) == 3
+        assert wave.makespan_s > 0
+        assert wave.egress_bytes > 0
+        assert 0.0 < wave.utilization <= 1.0 + 1e-9
+        assert wave.as_dict()["clients"] == 3
+
+    def test_rejects_nonpositive_concurrency(self, cluster):
+        with pytest.raises(ValueError):
+            cluster.deploy_wave(lambda node: None, concurrency=0)
+
+    def test_deterministic_across_identical_clusters(self, small_corpus):
+        generated = small_corpus.get("nginx:v1")
+        waves = []
+        for _ in range(2):
+            cluster = _fresh_cluster(small_corpus)
+            waves.append(
+                cluster.deploy_wave(
+                    lambda node: deploy_with_gear(
+                        node.testbed, generated, clear_cache=True
+                    )
+                    and None
+                )
+            )
+        assert waves[0] == waves[1]
+
+    def test_concurrency_one_matches_sequential_timings(self, small_corpus):
+        generated = small_corpus.get("tomcat:v1")
+
+        sequential = _fresh_cluster(small_corpus)
+        timings = []
+
+        def timed(node):
+            timer = sequential.clock.timer()
+            deploy_with_docker(node.testbed, generated)
+            timings.append(timer.elapsed())
+
+        sequential.each_node(timed)
+
+        staged = _fresh_cluster(small_corpus)
+        wave = staged.deploy_wave(
+            lambda node: deploy_with_docker(node.testbed, generated) and None,
+            concurrency=1,
+        )
+        # One client at a time = the seed sequential model, exactly.
+        assert wave.latencies_s == tuple(timings)
+
+    def test_contention_stretches_latency_not_bytes(self, small_corpus):
+        generated = small_corpus.get("nginx:v1")
+
+        staged = _fresh_cluster(small_corpus)
+        one_at_a_time = staged.deploy_wave(
+            lambda node: deploy_with_docker(node.testbed, generated) and None,
+            concurrency=1,
+        )
+
+        slammed = _fresh_cluster(small_corpus)
+        all_at_once = slammed.deploy_wave(
+            lambda node: deploy_with_docker(node.testbed, generated) and None
+        )
+
+        # Same bytes cross the wire either way; only the clients' waiting
+        # changes shape.
+        assert all_at_once.egress_bytes == one_at_a_time.egress_bytes
+        assert all_at_once.p95_s > one_at_a_time.p95_s
+        # Overlap compresses the fleet's wall-clock…
+        assert all_at_once.makespan_s < sum(one_at_a_time.latencies_s)
+        # …while each client individually waits at least as long as when
+        # it had the uplink to itself.
+        assert min(all_at_once.latencies_s) >= min(one_at_a_time.latencies_s)

@@ -1,0 +1,246 @@
+"""Discrete-event scheduler semantics and sequential-equivalence goldens.
+
+The scheduler refactor must be invisible at concurrency 1: a deployment
+executed inside a single scheduler process has to reproduce the seed's
+sequential cost model *byte for byte* — same clock, same transfer log,
+same :class:`DeploymentResult`.  The golden tests here pin that across
+the Fig. 9 bandwidth grid and under a fault plan.
+"""
+
+import pytest
+
+from repro.bench.deploy import deploy_with_docker, deploy_with_gear
+from repro.bench.environment import make_testbed, publish_images
+from repro.common.clock import (
+    Process,
+    SchedulerError,
+    SimClock,
+    SimEvent,
+    SimScheduler,
+)
+from repro.net.faults import FaultPlan, OutageWindow
+
+#: Fig. 9's bandwidth grid (Mbps).
+FIG9_BANDWIDTHS = (904, 100, 20, 5)
+
+
+# -- scheduler kernel ----------------------------------------------------
+
+
+class TestScheduler:
+    def test_attach_detach(self):
+        clock = SimClock()
+        assert clock.scheduler is None
+        with SimScheduler(clock) as scheduler:
+            assert clock.scheduler is scheduler
+        assert clock.scheduler is None
+
+    def test_double_attach_rejected(self):
+        clock = SimClock()
+        with SimScheduler(clock):
+            with pytest.raises(SchedulerError):
+                SimScheduler(clock)
+
+    def test_schedule_orders_by_time(self):
+        clock = SimClock()
+        fired = []
+        with SimScheduler(clock) as scheduler:
+            scheduler.schedule(2.0, lambda: fired.append(("b", clock.now)))
+            scheduler.schedule(1.0, lambda: fired.append(("a", clock.now)))
+            scheduler.run()
+        assert fired == [("a", 1.0), ("b", 2.0)]
+
+    def test_equal_times_break_ties_by_schedule_order(self):
+        clock = SimClock()
+        fired = []
+        with SimScheduler(clock) as scheduler:
+            for tag in ("first", "second", "third"):
+                scheduler.schedule(1.0, lambda t=tag: fired.append(t))
+            scheduler.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_generator_processes_interleave_deterministically(self):
+        clock = SimClock()
+        steps = []
+
+        def worker(tag, delay):
+            for _ in range(3):
+                yield delay
+                steps.append((tag, clock.now))
+
+        with SimScheduler(clock) as scheduler:
+            scheduler.spawn(worker("a", 1.0))
+            scheduler.spawn(worker("b", 1.0))
+            scheduler.run()
+        # Same wake times: spawn order decides — a before b, every round.
+        assert steps == [
+            ("a", 1.0), ("b", 1.0),
+            ("a", 2.0), ("b", 2.0),
+            ("a", 3.0), ("b", 3.0),
+        ]
+
+    def test_thread_process_advances_suspend(self):
+        clock = SimClock()
+        marks = []
+
+        def worker(tag, delay):
+            for _ in range(2):
+                clock.advance(delay)
+                marks.append((tag, clock.now))
+
+        with SimScheduler(clock) as scheduler:
+            scheduler.spawn(worker, "slow", 2.0, name="slow")
+            scheduler.spawn(worker, "fast", 1.0, name="fast")
+            scheduler.run()
+        assert marks == [
+            ("fast", 1.0), ("slow", 2.0), ("fast", 2.0), ("slow", 4.0)
+        ]
+        assert clock.now == 4.0
+
+    def test_process_result_and_join(self):
+        clock = SimClock()
+
+        def compute():
+            clock.advance(1.5)
+            return 42
+
+        with SimScheduler(clock) as scheduler:
+            process = scheduler.spawn(compute, name="compute")
+            assert scheduler.join(process).result == 42
+        assert process.done
+        assert process.finished_at == 1.5
+
+    def test_join_from_inside_a_process(self):
+        clock = SimClock()
+
+        def child():
+            yield 2.0
+            return "done"
+
+        def parent(scheduler):
+            spawned = scheduler.spawn(child())
+            result = yield spawned
+            return (result, clock.now)
+
+        with SimScheduler(clock) as scheduler:
+            root = scheduler.spawn(parent(scheduler))
+            assert scheduler.join(root).result == ("done", 2.0)
+
+    def test_simevent_wait_and_fire(self):
+        clock = SimClock()
+        seen = []
+
+        def waiter(event):
+            yield event
+            seen.append(("woken", clock.now))
+
+        def firer(event):
+            yield 3.0
+            event.fire()
+
+        with SimScheduler(clock) as scheduler:
+            event = SimEvent(clock)
+            scheduler.spawn(waiter(event))
+            scheduler.spawn(firer(event))
+            scheduler.run()
+        assert seen == [("woken", 3.0)]
+
+    def test_errors_propagate_from_run(self):
+        clock = SimClock()
+
+        def boom():
+            clock.advance(1.0)
+            raise ValueError("kaput")
+
+        with SimScheduler(clock) as scheduler:
+            scheduler.spawn(boom, name="boom")
+            with pytest.raises(ValueError, match="kaput"):
+                scheduler.run()
+
+    def test_advance_without_scheduler_is_seed_behaviour(self):
+        clock = SimClock(trace=True)
+        clock.advance(1.0, "pull")
+        clock.advance(2.0, "run")
+        assert clock.now == 3.0
+        assert clock.trace == [(1.0, "pull"), (3.0, "run")]
+
+    def test_spawn_returns_process(self):
+        clock = SimClock()
+        with SimScheduler(clock) as scheduler:
+            process = scheduler.spawn(lambda: None, name="noop")
+            assert isinstance(process, Process)
+            scheduler.run()
+        assert process.done
+
+
+# -- sequential-equivalence goldens --------------------------------------
+
+
+def _deploy_pair(testbed, generated):
+    docker = deploy_with_docker(testbed.fresh_client(), generated)
+    gear = deploy_with_gear(testbed.fresh_client(), generated)
+    return docker, gear
+
+
+def _publish(bed, small_corpus):
+    publish_images(bed, small_corpus.images, convert=True)
+
+
+@pytest.mark.parametrize("bandwidth", FIG9_BANDWIDTHS)
+def test_golden_single_process_matches_sequential(small_corpus, bandwidth):
+    """One scheduler process replays the seed model byte-identically."""
+    generated = small_corpus.get("tomcat:v1")
+
+    sequential = make_testbed(bandwidth_mbps=bandwidth)
+    _publish(sequential, small_corpus)
+    mark = sequential.clock.now
+    seq_docker, seq_gear = _deploy_pair(sequential, generated)
+
+    scheduled = make_testbed(bandwidth_mbps=bandwidth)
+    _publish(scheduled, small_corpus)
+    assert scheduled.clock.now == mark
+    with SimScheduler(scheduled.clock) as scheduler:
+        process = scheduler.spawn(
+            _deploy_pair, scheduled, generated, name="deploys"
+        )
+        sch_docker, sch_gear = scheduler.join(process).result
+
+    # Bit-exact equality — not approx: the flow model must degenerate to
+    # the seed formula when a transfer never shares the link.
+    assert scheduled.clock.now == sequential.clock.now
+    assert sch_docker == seq_docker
+    assert sch_gear == seq_gear
+    assert scheduled.link.log.records == sequential.link.log.records
+    assert scheduled.link.log.total_bytes == sequential.link.log.total_bytes
+    assert scheduled.link.log.total_time == sequential.link.log.total_time
+
+
+def test_golden_matches_sequential_under_fault_plan(small_corpus):
+    """Retry/backoff/outage paths are schedulable without drift."""
+    plan = FaultPlan(
+        seed="golden-faults",
+        drop_rate=0.12,
+        corrupt_rate=0.05,
+        outages=(OutageWindow(start_s=1.0, duration_s=2.0),),
+        targets=("gear-registry",),
+    )
+    generated = small_corpus.get("nginx:v1")
+
+    def run(bed):
+        bed.arm_faults()
+        return deploy_with_gear(bed.fresh_client(), generated)
+
+    sequential = make_testbed(bandwidth_mbps=20, fault_plan=plan)
+    _publish(sequential, small_corpus)
+    seq_result = run(sequential)
+
+    scheduled = make_testbed(bandwidth_mbps=20, fault_plan=plan)
+    _publish(scheduled, small_corpus)
+    with SimScheduler(scheduled.clock) as scheduler:
+        process = scheduler.spawn(run, scheduled, name="faulty-deploy")
+        sch_result = scheduler.join(process).result
+
+    assert seq_result.retries > 0  # the plan actually bit
+    assert sch_result == seq_result
+    assert scheduled.clock.now == sequential.clock.now
+    assert scheduled.link.log.records == sequential.link.log.records
