@@ -18,6 +18,9 @@ python -W error -m pytest tests/test_net_faults.py -q
 echo "== scheduler suite under -W error =="
 python -W error -m pytest tests/test_sim_scheduler.py -q
 
+echo "== journal/recovery suites under -W error =="
+python -W error -m pytest tests/test_gear_journal.py tests/test_gear_recovery.py -q
+
 echo "== fleet-contention determinism gate =="
 # The concurrent simulation must be replayable: two identical sweeps
 # have to emit byte-identical JSON reports.
@@ -29,6 +32,20 @@ $fleet_cmd > "$fleet_tmp/run1.json"
 $fleet_cmd > "$fleet_tmp/run2.json"
 diff "$fleet_tmp/run1.json" "$fleet_tmp/run2.json"
 echo "fleet reports identical across runs"
+
+echo "== crash-sweep determinism gate =="
+# Crash injection, fsck, and resume must be replayable too: for each
+# seed, two identical sweeps have to emit byte-identical JSON reports
+# (and exit 0, which certifies resume equivalence at every crash point).
+for crash_seed in 11 42; do
+    crash_cmd="python -m repro.cli crash --series nginx --versions 1 \
+        --scale 0.2 --target nginx --crash-seed $crash_seed --json"
+    $crash_cmd > "$fleet_tmp/crash-$crash_seed-run1.json"
+    $crash_cmd > "$fleet_tmp/crash-$crash_seed-run2.json"
+    diff "$fleet_tmp/crash-$crash_seed-run1.json" \
+        "$fleet_tmp/crash-$crash_seed-run2.json"
+done
+echo "crash sweeps identical across runs for both seeds"
 
 echo "== compileall src =="
 python -m compileall -q src

@@ -15,7 +15,14 @@ from typing import Optional
 from repro.baselines.slacker import SlackerDriver
 from repro.bench.environment import Testbed
 from repro.common.clock import SimScheduler
+from repro.common.errors import ClientCrash
+from repro.common.hashing import fingerprint_tokens
+from repro.gear.driver import GearContainer
+from repro.gear.index import STUB_XATTR
+from repro.gear.journal import FETCH_BEGIN
 from repro.gear.prefetch import TraceRecorder
+from repro.gear.recovery import RecoveryReport
+from repro.net.faults import CrashPlan
 from repro.workloads.corpus import GeneratedImage
 from repro.workloads.tasks import task_for_category
 
@@ -232,6 +239,153 @@ def deploy_with_gear_overlapped(
         retries=retries_after - retries_before,
         errors=errors_after - errors_before,
         degraded=deploy_report.degraded or stats.degraded_fetches > 0,
+    )
+
+
+@dataclass(frozen=True)
+class ResumableDeployment:
+    """A (possibly crash-interrupted) Gear deployment with recovery stats.
+
+    When the armed plan never fires, ``crashed`` is False and ``result``
+    is an ordinary deployment; otherwise ``result`` describes the
+    *resumed* deployment that ran against the fsck-repaired store, and
+    the crash/recovery fields account for everything the interruption
+    cost.
+    """
+
+    #: The successful deployment (the resumed one after a crash).
+    result: DeploymentResult
+    crashed: bool
+    crash_point: str = ""
+    #: Which occurrence of the crash point fired (resolved op index).
+    crash_op: int = 0
+    #: Virtual time of death.
+    crash_at_s: float = 0.0
+    #: Virtual seconds the crashed attempt burned before dying.
+    crashed_run_s: float = 0.0
+    #: Wire bytes the crashed attempt consumed (work at risk).
+    crashed_network_bytes: int = 0
+    recovery: Optional[RecoveryReport] = None
+    #: Virtual seconds the fsck pass took.
+    recovery_s: float = 0.0
+    #: Pool files already committed when the client died.
+    committed_before_crash: int = 0
+    #: Files the resumed run re-fetched although recovery had already
+    #: committed them — the golden invariant demands this be zero.
+    refetched_committed: int = 0
+    #: Logical-content digest of the deployed container fs (golden
+    #: equivalence: crash+resume must match an uncrashed control run).
+    fs_digest: str = ""
+
+
+def container_fs_digest(container: GearContainer) -> str:
+    """Logical-content digest of a Gear container's merged filesystem.
+
+    Stub files digest as the fingerprint their index entry promises;
+    materialized files digest as the fingerprint of their actual bytes.
+    Content addressing makes the two interchangeable — the digest captures
+    *what the container reads*, not how lazily it arrived — so an
+    uncrashed run and a crash+fsck+resume run of the same workload must
+    produce identical digests, byte for byte.
+    """
+    viewer = container.mount
+    tokens = []
+    for path, node in viewer.walk():
+        if not node.is_file:
+            tokens.append(f"{path}|{node.kind.value}")
+            continue
+        if STUB_XATTR in node.meta.xattrs:
+            entry = viewer.index.entries.get(path)
+            content = entry.identity if entry is not None else ""
+        else:
+            content = node.blob.fingerprint if node.blob is not None else ""
+        tokens.append(f"{path}|file|{node.meta.mode:o}|{content}")
+    return str(fingerprint_tokens(tokens))
+
+
+def deploy_with_gear_resumable(
+    testbed: Testbed,
+    generated: GeneratedImage,
+    plan: Optional[CrashPlan],
+    *,
+    index_reference: Optional[str] = None,
+    clear_cache: bool = False,
+) -> ResumableDeployment:
+    """Deploy with Gear under a crash plan; recover and resume if it fires.
+
+    The crash-consistency experiment in one call: arm the plan, deploy,
+    and — when the injected crash kills the client mid-admission — run
+    :meth:`~repro.gear.driver.GearDriver.recover` (the journal-driven
+    fsck) and deploy again against the repaired store.  The resumed run
+    re-fetches only identities recovery could not save; files the journal
+    had committed before the crash are served from the pool.
+    """
+    driver = testbed.gear_driver
+    reference = index_reference or _gear_reference(generated.reference)
+    if clear_cache:
+        driver.pool.clear()
+    if plan is not None:
+        driver.arm_crash(plan)
+    link_log = testbed.link.log
+    bytes_before = link_log.total_bytes
+    crash: Optional[ClientCrash] = None
+    committed_before_crash = 0
+    crashed_timer = testbed.clock.timer()
+    try:
+        result = deploy_with_gear(
+            testbed, generated, index_reference=reference
+        )
+    except ClientCrash as exc:
+        crash = exc
+        committed_before_crash = driver.pool.file_count
+    finally:
+        driver.disarm_crash()
+
+    if crash is None:
+        container = driver.containers()[-1]
+        return ResumableDeployment(
+            result=result,
+            crashed=False,
+            fs_digest=container_fs_digest(container),
+        )
+
+    crashed_run_s = crashed_timer.elapsed()
+    crashed_network_bytes = link_log.total_bytes - bytes_before
+    recovery = driver.recover()
+    # Everything the repaired pool holds must survive into the resumed
+    # run without touching the wire again.
+    held = set(driver.pool.identities())
+
+    result = deploy_with_gear(testbed, generated, index_reference=reference)
+    # The journal was compacted by fsck, so its records are exactly the
+    # resumed run's admissions.
+    refetched = sum(
+        1
+        for record in driver.journal.records
+        if record.op == FETCH_BEGIN and record.identity in held
+    )
+    report = driver.deploy_report(reference)
+    if report is not None:
+        report.crashed = True
+        report.crash_point = crash.point
+        report.crash_at_s = crash.at_s
+        report.resumed = True
+        report.recovery_s = recovery.fsck_s
+        report.recovered_files = recovery.rolled_forward + recovery.salvaged
+    container = driver.containers()[-1]
+    return ResumableDeployment(
+        result=result,
+        crashed=True,
+        crash_point=crash.point,
+        crash_op=crash.op_index,
+        crash_at_s=crash.at_s,
+        crashed_run_s=crashed_run_s,
+        crashed_network_bytes=crashed_network_bytes,
+        recovery=recovery,
+        recovery_s=recovery.fsck_s,
+        committed_before_crash=committed_before_crash,
+        refetched_committed=refetched,
+        fs_digest=container_fs_digest(container),
     )
 
 

@@ -7,6 +7,9 @@ Commands:
 * ``storage``  — Fig. 7-style Docker-vs-Gear registry footprints;
 * ``deploy``   — deploy one series under docker/gear/slacker at a chosen
   bandwidth and print the pull/run breakdown;
+* ``crash``    — crash-consistency sweep: kill a Gear deployment at each
+  instrumented crash point, fsck, resume, and check the golden
+  resume-equivalence invariant;
 * ``catalog``  — list the Table I series catalog.
 
 All commands run entirely in-process on the simulated testbed; sizes and
@@ -25,12 +28,13 @@ from repro.baselines.slacker import SlackerDriver
 from repro.bench.deploy import (
     deploy_with_docker,
     deploy_with_gear,
+    deploy_with_gear_resumable,
     deploy_with_slacker,
 )
 from repro.bench.environment import make_testbed, publish_images
 from repro.bench.reporting import format_table, gb, pct
 from repro.bench.storage import compare_storage
-from repro.net.faults import FaultPlan, OutageWindow
+from repro.net.faults import CrashPlan, CrashPoint, FaultPlan, OutageWindow
 from repro.net.topology import Cluster
 from repro.workloads.corpus import CorpusBuilder, CorpusConfig
 from repro.workloads.series import SERIES
@@ -232,6 +236,87 @@ def cmd_deploy(args) -> int:
     return 0
 
 
+def cmd_crash(args) -> int:
+    """Crash-consistency sweep over every instrumented crash point.
+
+    For each point: deploy on a fresh testbed, let the injected crash
+    kill the client, fsck the local store, resume, and compare the
+    resumed container fs against an uncrashed control run.  Exit code 1
+    when any point violates resume equivalence or re-fetches a file
+    recovery had already committed.
+    """
+    corpus = _corpus(args, series=(args.target,))
+    generated = corpus.by_series[args.target][0]
+
+    def run_point(plan):
+        testbed = make_testbed(bandwidth_mbps=args.bandwidth)
+        publish_images(testbed, [generated], convert=True)
+        return deploy_with_gear_resumable(testbed, generated, plan)
+
+    control = run_point(None)
+    report = {
+        "target": generated.reference,
+        "bandwidth_mbps": args.bandwidth,
+        "crash_seed": args.crash_seed,
+        "control": {
+            "total_s": control.result.total_s,
+            "network_bytes": control.result.network_bytes,
+            "fs_digest": control.fs_digest,
+        },
+        "points": {},
+    }
+    ok = True
+    for point in CrashPoint:
+        plan = CrashPlan(
+            point=point,
+            seed=f"cli-{args.crash_seed}",
+            op_index=args.crash_op if args.crash_op >= 0 else None,
+        )
+        out = run_point(plan)
+        equivalent = out.fs_digest == control.fs_digest
+        ok = ok and equivalent and out.refetched_committed == 0
+        report["points"][point.value] = {
+            "crashed": out.crashed,
+            "crash_op": out.crash_op,
+            "crash_at_s": out.crash_at_s,
+            "crashed_run_s": out.crashed_run_s,
+            "crashed_network_bytes": out.crashed_network_bytes,
+            "recovery_s": out.recovery_s,
+            "recovery": out.recovery.as_dict() if out.recovery else None,
+            "committed_before_crash": out.committed_before_crash,
+            "refetched_committed": out.refetched_committed,
+            "resumed_total_s": out.result.total_s,
+            "resumed_network_bytes": out.result.network_bytes,
+            "fs_equivalent": equivalent,
+        }
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+        return 0 if ok else 1
+    print(
+        f"crash sweep of {generated.reference} @ {args.bandwidth:g} Mbps "
+        f"(control: {control.result.total_s:.2f} s, "
+        f"{control.result.network_bytes} B)"
+    )
+    print(
+        format_table(
+            ["Point", "Died (s)", "fsck (s)", "Resume (s)", "Refetched",
+             "Equivalent"],
+            [
+                (
+                    point,
+                    f"{cell['crash_at_s']:.3f}",
+                    f"{cell['recovery_s']:.4f}",
+                    f"{cell['resumed_total_s']:.3f}",
+                    str(cell["refetched_committed"]),
+                    "yes" if cell["fs_equivalent"] else "NO",
+                )
+                for point, cell in report["points"].items()
+            ],
+        )
+    )
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (shared options on every command)."""
     common = argparse.ArgumentParser(add_help=False)
@@ -293,6 +378,21 @@ def build_parser() -> argparse.ArgumentParser:
         "--fault-target", nargs="*", default=["gear-registry"],
         help="endpoint names the plan applies to (empty = all traffic)",
     )
+    crash = sub.add_parser(
+        "crash", parents=[common],
+        help="crash/fsck/resume sweep over every crash point",
+    )
+    crash.add_argument("--target", default="nginx")
+    crash.add_argument("--bandwidth", type=float, default=100.0)
+    crash.add_argument("--crash-seed", default="0",
+                       help="seed token for the crash-instant draw")
+    crash.add_argument(
+        "--crash-op", type=int, default=-1,
+        help="explicit occurrence index of the crash point "
+             "(-1 = deterministic seeded draw)",
+    )
+    crash.add_argument("--json", action="store_true",
+                       help="emit the sweep report as one JSON line")
     return parser
 
 
@@ -309,6 +409,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_storage(args)
     if args.command == "deploy":
         return cmd_deploy(args)
+    if args.command == "crash":
+        return cmd_crash(args)
     raise AssertionError("unreachable")
 
 

@@ -298,6 +298,26 @@ class SimScheduler:
             if self.clock._scheduler is self:
                 self.clock._scheduler = None
 
+    def abort(self) -> int:
+        """Cancel every pending event: the simulated node lost power.
+
+        Used by crash-injection experiments after a
+        :class:`~repro.common.errors.ClientCrash` propagates out of
+        :meth:`run`: sibling processes (prefetchers, concurrent
+        deployments on the same node) die with the client instead of
+        draining to completion.  Suspended call-process threads are
+        abandoned — they are daemon threads parked on an event that will
+        never be set, exactly as a killed process never resumes.  Returns
+        the number of events cancelled.
+        """
+        cancelled = 0
+        for event in self._heap:
+            if not event.cancelled:
+                event.cancel()
+                cancelled += 1
+        self._heap.clear()
+        return cancelled
+
     def __enter__(self) -> "SimScheduler":
         return self
 

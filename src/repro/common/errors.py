@@ -53,6 +53,33 @@ class CorruptPayloadError(TransportError):
     """
 
 
+class ClientCrash(ReproError):
+    """The simulated client process died at an injected crash point.
+
+    Raised by the crash injector (:mod:`repro.net.faults`) at an exact
+    virtual instant inside the deployment path.  Whatever durable state
+    existed at that instant — pool entries, journal records, index links
+    — is left exactly as it was; recovery is the job of
+    :func:`repro.gear.recovery.fsck`.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        point: str = "",
+        op_index: int = 0,
+        at_s: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        #: Which crash point fired (``CrashPoint.value``).
+        self.point = point
+        #: Which occurrence of that point fired (0-based).
+        self.op_index = op_index
+        #: Virtual time of death.
+        self.at_s = at_s
+
+
 class IntegrityError(ReproError):
     """Content failed verification against its digest or fingerprint."""
 

@@ -27,7 +27,9 @@ from repro.gear.converter import ConversionReport, GearConverter
 from repro.gear.driver import GearContainer, GearDeployReport, GearDriver
 from repro.gear.gearfile import GearFile
 from repro.gear.index import GearFileEntry, GearIndex
+from repro.gear.journal import IntentJournal, JournalRecord
 from repro.gear.pool import EvictionPolicy, SharedFilePool
+from repro.gear.recovery import RecoveryReport, fsck
 from repro.gear.registry import GearRegistry
 from repro.gear.viewer import GearFileViewer
 
@@ -40,8 +42,12 @@ __all__ = [
     "GearFile",
     "GearFileEntry",
     "GearIndex",
+    "IntentJournal",
+    "JournalRecord",
     "EvictionPolicy",
     "SharedFilePool",
+    "RecoveryReport",
+    "fsck",
     "GearRegistry",
     "GearFileViewer",
 ]

@@ -34,9 +34,12 @@ from repro.docker.daemon import (
 from repro.docker.image import Image
 from repro.gear.gearfile import GearFile
 from repro.gear.index import GearFileEntry, GearIndex, STUB_XATTR
+from repro.gear.journal import IntentJournal
 from repro.gear.pool import SharedFilePool
 from repro.gear.prefetch import StartupProfile, replay_profile
+from repro.gear.recovery import RecoveryReport, fsck
 from repro.gear.viewer import GearFileViewer
+from repro.net.faults import CrashInjector, CrashPlan
 from repro.net.transport import RpcTransport
 from repro.vfs.tree import FileSystemTree
 
@@ -66,6 +69,19 @@ class GearDeployReport:
     degraded_fetches: int = 0
     #: Virtual seconds spent pulling the original image for fallback.
     fallback_pull_s: float = 0.0
+    #: True when an injected crash killed a deployment of this reference.
+    crashed: bool = False
+    #: Which crash point fired ("" when not crashed).
+    crash_point: str = ""
+    #: Virtual time of death.
+    crash_at_s: float = 0.0
+    #: True when this deployment ran against a recovered (post-fsck) store.
+    resumed: bool = False
+    #: Virtual seconds the recovery pass took before this deployment.
+    recovery_s: float = 0.0
+    #: Staged files recovery promoted without re-fetching (rolled forward
+    #: plus salvaged).
+    recovered_files: int = 0
 
 
 class GearContainer:
@@ -109,11 +125,19 @@ class GearDriver:
         transport: RpcTransport,
         *,
         pool: Optional[SharedFilePool] = None,
+        journal: Optional[IntentJournal] = None,
     ) -> None:
         self.clock = clock
         self.daemon = daemon
         self.transport = transport
         self.pool = pool if pool is not None else SharedFilePool()
+        #: The node's write-ahead intent journal; every viewer mounted by
+        #: this driver records admissions through it (DESIGN.md §9).
+        self.journal = journal if journal is not None else IntentJournal(clock)
+        #: Armed crash injector (crash-consistency experiments only).
+        self.crash: Optional[CrashInjector] = None
+        #: The report of the most recent :meth:`recover` pass.
+        self.last_recovery: Optional[RecoveryReport] = None
         #: Level 2: one live index per deployed image reference.
         self._indexes: Dict[str, GearIndex] = {}
         self._containers: Dict[str, GearContainer] = {}
@@ -186,10 +210,57 @@ class GearDriver:
             transport=self.transport,
             disk=self.daemon.disk,
             fallback=self._make_fallback(reference),
+            journal=self.journal,
+            crash=self.crash,
         )
         container = GearContainer(index, viewer)
         self._containers[container.id] = container
         return container
+
+    # -- crash consistency -------------------------------------------------
+
+    def arm_crash(self, plan: CrashPlan) -> CrashInjector:
+        """Arm a crash plan: the next matching admission kills the client.
+
+        Containers created while armed carry the injector; the crash
+        surfaces as :class:`~repro.common.errors.ClientCrash` out of
+        whatever read triggered the fatal fault, leaving pool, journal,
+        and index state exactly as they were at that instant.
+        """
+        self.crash = CrashInjector(self.clock, plan)
+        return self.crash
+
+    def disarm_crash(self) -> Optional[CrashInjector]:
+        """Detach the injector (fired or not); returns it for inspection."""
+        injector, self.crash = self.crash, None
+        return injector
+
+    def recover(self) -> RecoveryReport:
+        """The client restarted after a crash: fsck the local store.
+
+        Running containers died with the process — they come back
+        ``STOPPED``, keeping their level-3 diffs (which survive on disk
+        and are audited by the pass).  The pool, the live indexes, their
+        hard-link counts, and the journal are repaired in place; the
+        returned report is also kept as :attr:`last_recovery` so deploy
+        reports can cite it.
+        """
+        for container in self._containers.values():
+            if container.state is ContainerState.RUNNING:
+                container.stop()
+        diffs = [
+            container.mount.upper for container in self._containers.values()
+        ]
+        report = fsck(
+            self.pool,
+            list(self._indexes.values()),
+            diffs,
+            self.journal,
+            clock=self.clock,
+            disk=self.daemon.disk,
+        )
+        self.last_recovery = report
+        return report
 
     # -- degraded mode -----------------------------------------------------
 

@@ -32,6 +32,9 @@ class GcReport:
     deleted_files: int = 0
     deleted_bytes: int = 0
     deleted_identities: List[str] = field(default_factory=list)
+    #: Unreferenced files uploaded *after* the mark phase began — spared
+    #: this pass because their referencing index may still be in flight.
+    skipped_recent: int = 0
 
 
 def live_identities(docker_registry: DockerRegistry) -> Set[str]:
@@ -60,8 +63,18 @@ def collect_garbage(
 
     With ``dry_run`` the report is produced but nothing is deleted —
     operators preview reclaimable space before committing.
+
+    The sweep sizes dead files from the store's metadata records
+    (:meth:`~repro.gear.registry.GearRegistry.stat`) rather than
+    downloading every candidate — a collection pass must cost metadata
+    reads, not a full mirror of the garbage.  The upload epoch snapshot
+    taken before the mark phase guards the push/GC race: a client pushes
+    Gear files *before* the index that references them (§III-C), so a
+    file uploaded after marking began may be referenced by an index the
+    mark never saw.  Such files are skipped, never swept.
     """
     report = GcReport()
+    mark_epoch = gear_registry.upload_epoch
     live = live_identities(docker_registry)
     report.indexes_scanned = sum(
         1
@@ -72,9 +85,12 @@ def collect_garbage(
     for identity in list(gear_registry.identities()):
         if identity in live:
             continue
-        gear_file = gear_registry.download(identity)
+        record = gear_registry.stat(identity)
+        if record.seq >= mark_epoch:
+            report.skipped_recent += 1
+            continue
         report.deleted_files += 1
-        report.deleted_bytes += gear_file.compressed_size
+        report.deleted_bytes += record.stored_size
         report.deleted_identities.append(identity)
         if not dry_run:
             gear_registry.delete(identity)

@@ -1,0 +1,177 @@
+"""A write-ahead intent journal for client-side Gear file admission.
+
+The paper's three-level local store (§III-D1) assumes the client never
+dies between "file fetched" and "file hard-linked into the index".
+Production lazy loaders cannot: a node crash mid-deployment must leave a
+store that is *classifiable* — every torn state distinguishable from a
+healthy one — or recovery degenerates to wiping the cache.  This module
+provides the classification substrate: a tiny append-only journal of
+admission intents, written by the Gear File Viewer around each two-phase
+pool insert and index hard-link.
+
+Record grammar (two two-phase operations):
+
+* ``fetch-begin identity`` / ``fetch-commit identity`` — bracket one
+  admission into the shared file pool (download → staged → committed);
+* ``link-begin identity path reference`` / ``link-commit …`` — bracket
+  one hard-link of a pool file over an index stub.
+
+Appends cost nothing on the virtual clock: journal records are tiny and
+ride the same write stream as the data they describe, so the journaled
+path is byte-identical in time to the unjournaled seed behaviour.  The
+journal's value is purely at recovery time, when
+:func:`repro.gear.recovery.fsck` replays it to classify every torn state
+(DESIGN.md §9).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.common.clock import SimClock
+
+#: Record type tags (the ``op`` field of a :class:`JournalRecord`).
+FETCH_BEGIN = "fetch-begin"
+FETCH_COMMIT = "fetch-commit"
+LINK_BEGIN = "link-begin"
+LINK_COMMIT = "link-commit"
+
+
+@dataclass(frozen=True)
+class JournalRecord:
+    """One appended intent or commit record."""
+
+    seq: int
+    op: str
+    identity: str
+    at_s: float
+    #: Index-tree path (link records only).
+    path: Optional[str] = None
+    #: Index reference the link belongs to (link records only).
+    reference: Optional[str] = None
+
+
+@dataclass
+class JournalState:
+    """The replayed view of a journal: what is open, what is promised."""
+
+    #: Identities with a ``fetch-begin`` not followed by ``fetch-commit``,
+    #: in first-begin order.
+    open_fetches: List[str] = field(default_factory=list)
+    #: Identities with at least one ``fetch-commit`` record.
+    committed_fetches: Set[str] = field(default_factory=set)
+    #: ``link-begin`` records with no matching ``link-commit`` (matched by
+    #: ``(reference, path)``), in begin order.
+    open_links: List[JournalRecord] = field(default_factory=list)
+
+
+class IntentJournal:
+    """An append-only, replayable journal of admission intents.
+
+    One journal per client node (the :class:`~repro.gear.driver.GearDriver`
+    owns it); every viewer mounted on that node writes through it.  The
+    journal survives the crash by construction — records are appended
+    *before* the state transitions they describe — so
+    :func:`~repro.gear.recovery.fsck` can always tell an interrupted
+    admission from a completed one.
+    """
+
+    def __init__(self, clock: Optional[SimClock] = None) -> None:
+        self.clock = clock
+        self.records: List[JournalRecord] = []
+        #: Total records ever appended (survives :meth:`compact`).
+        self.appended = 0
+        #: Completed compaction passes.
+        self.compactions = 0
+        self._seq = 0
+
+    # -- appends -----------------------------------------------------------
+
+    def _append(
+        self,
+        op: str,
+        identity: str,
+        path: Optional[str] = None,
+        reference: Optional[str] = None,
+    ) -> JournalRecord:
+        record = JournalRecord(
+            seq=self._seq,
+            op=op,
+            identity=identity,
+            at_s=self.clock.now if self.clock is not None else 0.0,
+            path=path,
+            reference=reference,
+        )
+        self._seq += 1
+        self.appended += 1
+        self.records.append(record)
+        return record
+
+    def fetch_begin(self, identity: str) -> JournalRecord:
+        """Record the intent to admit ``identity`` into the pool."""
+        return self._append(FETCH_BEGIN, identity)
+
+    def fetch_commit(self, identity: str) -> JournalRecord:
+        """Record that ``identity``'s bytes are complete and verified."""
+        return self._append(FETCH_COMMIT, identity)
+
+    def link_begin(
+        self, identity: str, path: str, reference: str
+    ) -> JournalRecord:
+        """Record the intent to hard-link ``identity`` over a stub."""
+        return self._append(LINK_BEGIN, identity, path=path, reference=reference)
+
+    def link_commit(
+        self, identity: str, path: str, reference: str
+    ) -> JournalRecord:
+        """Record that the hard link at ``path`` is fully placed."""
+        return self._append(LINK_COMMIT, identity, path=path, reference=reference)
+
+    # -- replay ------------------------------------------------------------
+
+    def replay(self) -> JournalState:
+        """Fold the record stream into open/committed/orphaned sets."""
+        state = JournalState()
+        fetch_open: Dict[str, bool] = {}
+        links_open: Dict[Tuple[str, str], JournalRecord] = {}
+        for record in self.records:
+            if record.op == FETCH_BEGIN:
+                fetch_open[record.identity] = True
+            elif record.op == FETCH_COMMIT:
+                fetch_open[record.identity] = False
+                state.committed_fetches.add(record.identity)
+            elif record.op == LINK_BEGIN:
+                assert record.reference is not None and record.path is not None
+                links_open[(record.reference, record.path)] = record
+            elif record.op == LINK_COMMIT:
+                assert record.reference is not None and record.path is not None
+                links_open.pop((record.reference, record.path), None)
+        state.open_fetches = [
+            identity for identity, is_open in fetch_open.items() if is_open
+        ]
+        state.open_links = sorted(links_open.values(), key=lambda r: r.seq)
+        return state
+
+    # -- maintenance -------------------------------------------------------
+
+    def compact(self) -> int:
+        """Drop every record (recovery resolved them all); return count.
+
+        Called by :func:`~repro.gear.recovery.fsck` once every open
+        intent has been rolled forward or rolled back — a compacted
+        journal plus a clean store is the post-recovery steady state.
+        """
+        dropped = len(self.records)
+        self.records.clear()
+        self.compactions += 1
+        return dropped
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __repr__(self) -> str:
+        return (
+            f"IntentJournal(records={len(self.records)}, "
+            f"appended={self.appended})"
+        )

@@ -47,6 +47,11 @@ class SharedFilePool:
         #: identity → inode, in insertion/recency order.
         self._inodes: "OrderedDict[str, Inode]" = OrderedDict()
         self._bytes = 0
+        #: identity → inode staged by :meth:`prepare` but not yet
+        #: committed — the "temp file" half of the two-phase admission.
+        #: Staged entries never serve :meth:`get`, never count against
+        #: capacity, and are exactly what a crash leaves torn.
+        self._staged: "OrderedDict[str, Inode]" = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -79,6 +84,14 @@ class SharedFilePool:
         """Existence check without hit/miss or recency side effects."""
         return identity in self._inodes
 
+    def peek(self, identity: str) -> Optional[Inode]:
+        """The committed inode without hit/miss or recency side effects.
+
+        Maintenance view for recovery and audits; the serving path uses
+        :meth:`get` so cache statistics stay honest.
+        """
+        return self._inodes.get(identity)
+
     # -- insertion -----------------------------------------------------------
 
     def insert(self, gear_file: GearFile) -> Inode:
@@ -86,34 +99,83 @@ class SharedFilePool:
 
         Returns the pool's inode (existing one when the identity is
         already cached — content-addressing never stores two copies).
+        One-shot composition of the two-phase :meth:`prepare` +
+        :meth:`commit` admission; callers that can crash between the
+        halves (the Gear File Viewer) drive the phases themselves around
+        journal records.
+        """
+        self.prepare(gear_file)
+        return self.commit(gear_file.identity)
+
+    def prepare(self, gear_file: GearFile, *, verified: bool = True) -> Inode:
+        """Phase one: stage a fetched file without publishing it.
 
         The pool is the *shared* level-1 cache: a corrupt entry would
         poison every image on the node, so content is verified against
         its fingerprint name before it is admitted (collision-handled
         ``uid-…`` files are not fingerprint-named and are exempt).
+        ``verified=False`` skips that check — it exists solely for crash
+        injection, which stages the torn partial file a mid-download
+        crash leaves on disk for ``fsck`` to find.
+
+        Staged entries are invisible to :meth:`get` and free of capacity
+        accounting until :meth:`commit`; :meth:`abort` (or recovery)
+        discards them.
         """
-        if not gear_file.identity.startswith("uid-") and (
-            gear_file.blob.fingerprint != gear_file.identity
+        identity = gear_file.identity
+        if verified and not identity.startswith("uid-") and (
+            gear_file.blob.fingerprint != identity
         ):
             raise IntegrityError(
-                f"refusing to cache {gear_file.identity!r}: content hashes "
+                f"refusing to cache {identity!r}: content hashes "
                 f"to {gear_file.blob.fingerprint!r}"
             )
-        self._quarantined.discard(gear_file.identity)
-        existing = self._inodes.get(identity := gear_file.identity)
+        existing = self._inodes.get(identity)
         if existing is not None:
-            if self.policy is EvictionPolicy.LRU:
-                self._inodes.move_to_end(identity)
             return existing
+        staged = self._staged.get(identity)
+        if staged is not None:
+            return staged
         inode = Inode(
             FileKind.FILE,
             meta=Metadata(mode=0o644),
             blob=gear_file.blob,
         )
-        self._make_room(gear_file.size)
-        self._inodes[identity] = inode
-        self._bytes += gear_file.size
+        self._staged[identity] = inode
         return inode
+
+    def commit(self, identity: str) -> Inode:
+        """Phase two: publish a staged entry into the cache proper."""
+        self._quarantined.discard(identity)
+        existing = self._inodes.get(identity)
+        if existing is not None:
+            self._staged.pop(identity, None)
+            if self.policy is EvictionPolicy.LRU:
+                self._inodes.move_to_end(identity)
+            return existing
+        inode = self._staged.pop(identity, None)
+        if inode is None:
+            raise StorageError(f"commit without prepare: {identity!r}")
+        self._make_room(inode.size)
+        self._inodes[identity] = inode
+        self._bytes += inode.size
+        return inode
+
+    def abort(self, identity: str) -> None:
+        """Discard a staged entry (failed or torn admission)."""
+        self._staged.pop(identity, None)
+
+    def is_staged(self, identity: str) -> bool:
+        """Is ``identity`` staged but not yet committed?"""
+        return identity in self._staged
+
+    def staged_items(self) -> Iterator[tuple]:
+        """Snapshot of staged ``(identity, inode)`` pairs, oldest first."""
+        return iter(list(self._staged.items()))
+
+    @property
+    def staged_count(self) -> int:
+        return len(self._staged)
 
     def _make_room(self, incoming: int) -> None:
         if self.capacity_bytes is None:
@@ -161,15 +223,29 @@ class SharedFilePool:
         return identity in self._quarantined
 
     def clear(self) -> None:
-        """Empty the cache (the paper's no-local-cache scenario, §V-D)."""
+        """Empty the cache (the paper's no-local-cache scenario, §V-D).
+
+        A cleared node starts from *nothing*: staged (uncommitted)
+        entries, quarantine records, and in-flight fetch markers are all
+        discarded along with the cached files.  Pending single-flight
+        events are fired first so any process waiting on one re-checks
+        the (now empty) cache instead of blocking forever.
+        """
         self._inodes.clear()
         self._bytes = 0
+        self._staged.clear()
+        self._quarantined.clear()
+        for event in list(self.inflight.values()):
+            event.fire()
+        self.inflight.clear()
 
     def reset_stats(self) -> None:
+        """Zero every counter, including quarantine/eviction-failure ones."""
         self.hits = 0
         self.misses = 0
         self.evictions = 0
         self.eviction_failures = 0
+        self.quarantines = 0
 
     @property
     def used_bytes(self) -> int:

@@ -14,7 +14,7 @@ from typing import Iterable, Iterator, List, Tuple
 from repro.common.errors import IntegrityError, NotFoundError
 from repro.gear.gearfile import GearFile
 from repro.net.transport import RpcEndpoint
-from repro.storage.objectstore import ObjectStore
+from repro.storage.objectstore import ObjectStore, StoredObject
 
 
 class GearRegistry:
@@ -78,6 +78,19 @@ class GearRegistry:
     def delete(self, identity: str) -> None:
         """Remove a Gear file (used by registry garbage collection)."""
         self._store.delete(identity)
+
+    def stat(self, identity: str) -> StoredObject:
+        """Size/admission metadata without touching the payload.
+
+        Garbage collection sizes its sweep from this record instead of
+        downloading every dead file.
+        """
+        return self._store.stat(identity)
+
+    @property
+    def upload_epoch(self) -> int:
+        """The admission number the next uploaded file will receive."""
+        return self._store.upload_epoch
 
     # -- fault/loss injection (tests, resilience experiments) ---------------
 

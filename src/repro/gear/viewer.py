@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
+from repro.blob import Blob
 from repro.common.clock import SimEvent
 from repro.common.errors import (
     GearError,
@@ -35,8 +36,10 @@ from repro.common.errors import (
 from repro.docker.daemon import DECOMPRESS_BPS
 from repro.gear.gearfile import GearFile
 from repro.gear.index import GearFileEntry, GearIndex, STUB_XATTR
+from repro.gear.journal import IntentJournal
 from repro.gear.pool import SharedFilePool
 from repro.gear.registry import GearRegistry
+from repro.net.faults import CrashInjector, CrashPoint
 from repro.net.transport import RpcTransport
 from repro.storage.disk import Disk
 from repro.vfs.inode import Inode
@@ -86,6 +89,8 @@ class GearFileViewer(OverlayMount):
         disk: Optional[Disk] = None,
         fallback: Optional[FallbackFetcher] = None,
         integrity_refetch_limit: Optional[int] = None,
+        journal: Optional[IntentJournal] = None,
+        crash: Optional[CrashInjector] = None,
     ) -> None:
         super().__init__([index.tree], upper)
         self.index = index
@@ -93,6 +98,8 @@ class GearFileViewer(OverlayMount):
         self.transport = transport
         self.disk = disk
         self.fallback = fallback
+        self.journal = journal
+        self.crash = crash
         self.integrity_refetch_limit = (
             integrity_refetch_limit
             if integrity_refetch_limit is not None
@@ -124,12 +131,19 @@ class GearFileViewer(OverlayMount):
         else:
             inode = self._fault_in(entry)
         # Hard-link the real file over the stub so the index serves it
-        # directly from now on.
+        # directly from now on.  Two-phase: the link intent is journaled
+        # before the physical link, the commit record after — a crash
+        # between the halves leaves a classifiable open-link record.
+        if self.journal is not None:
+            self.journal.link_begin(entry.identity, path, self.index.reference)
         inode.meta.mode = entry.mode
         self.index.tree.link_inode(path, inode, replace=True)
+        self._crash_checkpoint(CrashPoint.MID_LINK)
         if self.disk is not None:
             self.disk.metadata_op(1, label="index-link")
         self.fault_stats.linked_bytes += inode.size
+        if self.journal is not None:
+            self.journal.link_commit(entry.identity, path, self.index.reference)
         return inode
 
     def _fault_in(self, entry: GearFileEntry) -> Inode:
@@ -146,8 +160,16 @@ class GearFileViewer(OverlayMount):
             announce = SimEvent(clock)
             self.pool.inflight[entry.identity] = announce
         try:
+            if self.journal is not None:
+                self.journal.fetch_begin(entry.identity)
+            self._crash_checkpoint(CrashPoint.MID_FETCH, entry=entry)
             gear_file = self._fetch_remote(entry)
-            inode = self.pool.insert(gear_file)
+            inode = self.pool.prepare(gear_file)
+            self._crash_checkpoint(CrashPoint.POST_FETCH)
+            if self.journal is not None:
+                self.journal.fetch_commit(entry.identity)
+            self._crash_checkpoint(CrashPoint.MID_COMMIT)
+            inode = self.pool.commit(entry.identity)
             self.fault_stats.remote_fetches += 1
             self.fault_stats.remote_bytes += gear_file.compressed_size
             # Gear files travel compressed (§III-C): decompress, then
@@ -163,6 +185,34 @@ class GearFileViewer(OverlayMount):
                 if self.pool.inflight.get(entry.identity) is announce:
                     del self.pool.inflight[entry.identity]
                 announce.fire()
+
+    def _crash_checkpoint(
+        self, point: CrashPoint, entry: Optional[GearFileEntry] = None
+    ) -> None:
+        """Die here if the armed crash plan says so.
+
+        A ``MID_FETCH`` crash lands partway through the wire transfer:
+        it charges ``partial_fraction`` of the nominal transfer time and
+        stages the torn partial temp file (junk bytes that cannot hash to
+        the identity) exactly as an interrupted download leaves one on a
+        real client — that is what recovery's re-verification must drop.
+        """
+        crash = self.crash
+        if crash is None or not crash.take(point):
+            return
+        if point is CrashPoint.MID_FETCH and entry is not None:
+            partial = int(entry.size * crash.plan.partial_fraction)
+            if self.transport is not None and partial > 0:
+                link = self.transport.link
+                link.clock.advance(
+                    link.transfer_time(partial),
+                    f"crash-partial-fetch:{entry.identity[:12]}",
+                )
+            torn = _torn_payload(entry.identity, partial)
+            self.pool.prepare(
+                GearFile(identity=entry.identity, blob=torn), verified=False
+            )
+        crash.fire(point)
 
     def _fetch_remote(self, entry: GearFileEntry) -> GearFile:
         identity = entry.identity
@@ -254,3 +304,11 @@ class GearFileViewer(OverlayMount):
 
     def __repr__(self) -> str:
         return f"GearFileViewer({self.index.reference!r})"
+
+
+def _torn_payload(identity: str, size: int) -> Blob:
+    """Deterministic junk standing in for a half-downloaded file."""
+    if size <= 0:
+        return Blob.from_bytes(b"")
+    stamp = f"torn:{identity}:".encode()
+    return Blob.from_bytes((stamp * (size // len(stamp) + 1))[:size])

@@ -23,12 +23,13 @@ deploy times exactly the way it would on real hardware.
 
 from __future__ import annotations
 
+import enum
 import threading
 from dataclasses import dataclass, field
 from typing import Dict, Optional, Tuple
 
 from repro.common.clock import SimClock
-from repro.common.errors import TimeoutError, UnavailableError
+from repro.common.errors import ClientCrash, TimeoutError, UnavailableError
 from repro.common.rng import rng_for
 from repro.net.link import Link
 
@@ -293,6 +294,126 @@ class FaultyLink(Link):
             f"FaultyLink({self.bandwidth_mbps:g} Mbps, drop={self.plan.drop_rate}, "
             f"corrupt={self.plan.corrupt_rate}, outages={len(self.plan.outages)})"
         )
+
+
+class CrashPoint(enum.Enum):
+    """Where in the admission path the simulated client dies.
+
+    Each point maps to a distinct durable torn state (DESIGN.md §9):
+
+    * ``MID_FETCH`` — during the wire transfer: the journal holds an open
+      fetch intent and the pool holds a *torn* partial temp file whose
+      content cannot hash to its identity.
+    * ``POST_FETCH`` — bytes fully staged, fetch-commit record not yet
+      written: an intact but uncommitted pool entry.
+    * ``MID_COMMIT`` — fetch-commit record written, pool commit not yet
+      applied: the journal promises a file the pool still holds staged.
+    * ``MID_LINK`` — the hard link into the index is physically placed
+      but the link-commit record is missing.
+    """
+
+    MID_FETCH = "mid-fetch"
+    POST_FETCH = "post-fetch"
+    MID_COMMIT = "mid-commit"
+    MID_LINK = "mid-link"
+
+
+@dataclass(frozen=True)
+class CrashPlan:
+    """A declarative description of when the client process dies.
+
+    * ``point`` — which admission-path checkpoint fires.
+    * ``op_index`` — which occurrence of that point (0-based).  ``None``
+      draws the index from a stream seeded by ``seed`` in
+      ``[0, horizon)``, so sweeps get varied-but-reproducible crashes.
+    * ``at_s`` — when set, the crash instead fires at the *first*
+      occurrence of ``point`` at or after this virtual instant
+      (``op_index`` is ignored): the scheduler-clock analogue of pulling
+      the plug at an exact simulated time.
+    * ``partial_fraction`` — how far the wire transfer got when a
+      ``MID_FETCH`` crash lands; sets both the partial time charged and
+      the size of the torn temp file left staged in the pool.
+    """
+
+    point: CrashPoint
+    seed: str = "crash"
+    op_index: Optional[int] = None
+    horizon: int = 4
+    at_s: Optional[float] = None
+    partial_fraction: float = 0.5
+
+    def __post_init__(self) -> None:
+        if self.horizon < 1:
+            raise ValueError("horizon must be at least 1")
+        if self.op_index is not None and self.op_index < 0:
+            raise ValueError("op_index must be non-negative")
+        if self.at_s is not None and self.at_s < 0:
+            raise ValueError("at_s must be non-negative")
+        if not 0.0 <= self.partial_fraction <= 1.0:
+            raise ValueError("partial_fraction must be in [0, 1]")
+
+
+class CrashInjector:
+    """Arms a :class:`CrashPlan` and fires it at most once.
+
+    The admission path (the Gear File Viewer) calls :meth:`take` at each
+    instrumented checkpoint; when the plan matches, the caller performs
+    any point-specific teardown (e.g. staging the torn partial download)
+    and then calls :meth:`fire`, which raises
+    :class:`~repro.common.errors.ClientCrash` at the current virtual
+    instant.  One injector produces exactly one crash; after it fires,
+    every later checkpoint passes through untouched.
+    """
+
+    def __init__(self, clock: SimClock, plan: CrashPlan) -> None:
+        self.clock = clock
+        self.plan = plan
+        self._counts: Dict[CrashPoint, int] = {point: 0 for point in CrashPoint}
+        self._op_index = (
+            plan.op_index
+            if plan.op_index is not None
+            else rng_for("crash", plan.seed, plan.point.value).randrange(
+                plan.horizon
+            )
+        )
+        #: The crash this injector produced (None while still armed).
+        self.fired: Optional[ClientCrash] = None
+
+    @property
+    def armed(self) -> bool:
+        """True while the planned crash has not happened yet."""
+        return self.fired is None
+
+    @property
+    def op_index(self) -> int:
+        """The resolved occurrence index (explicit or seeded draw)."""
+        return self._op_index
+
+    def take(self, point: CrashPoint) -> bool:
+        """Count one occurrence of ``point``; True when the crash is due."""
+        if self.fired is not None or point is not self.plan.point:
+            return False
+        occurrence = self._counts[point]
+        self._counts[point] += 1
+        if self.plan.at_s is not None:
+            return self.clock.now >= self.plan.at_s
+        return occurrence == self._op_index
+
+    def fire(self, point: CrashPoint) -> None:
+        """Kill the client: record the crash and raise it."""
+        crash = ClientCrash(
+            f"client crashed at {point.value} "
+            f"(op {self._counts[point] - 1}, t={self.clock.now:.6f}s)",
+            point=point.value,
+            op_index=self._counts[point] - 1,
+            at_s=self.clock.now,
+        )
+        self.fired = crash
+        raise crash
+
+    def __repr__(self) -> str:
+        state = "armed" if self.armed else f"fired@{self.fired.at_s:.3f}s"
+        return f"CrashInjector({self.plan.point.value}, op={self._op_index}, {state})"
 
 
 def lossy_plan(

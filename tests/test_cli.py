@@ -52,3 +52,24 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "Slacker" in out
         assert "v2" in out
+
+    def test_crash_sweep(self, capsys):
+        assert main(["crash", *SMALL, "--target", "nginx"]) == 0
+        out = capsys.readouterr().out
+        assert "crash sweep" in out
+        for point in ("mid-fetch", "post-fetch", "mid-commit", "mid-link"):
+            assert point in out
+        assert "NO" not in out  # every point resume-equivalent
+
+    def test_crash_sweep_json(self, capsys):
+        import json
+
+        assert main(["crash", *SMALL, "--target", "nginx", "--json"]) == 0
+        report = json.loads(capsys.readouterr().out)
+        assert set(report["points"]) == {
+            "mid-fetch", "post-fetch", "mid-commit", "mid-link"
+        }
+        for cell in report["points"].values():
+            assert cell["crashed"]
+            assert cell["fs_equivalent"]
+            assert cell["refetched_committed"] == 0

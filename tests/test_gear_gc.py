@@ -98,3 +98,68 @@ class TestSweep:
         live = live_identities(docker_registry)
         for identity in live:
             assert gear_registry.query(identity)
+
+    def test_sweep_never_downloads_dead_files(self, env, monkeypatch):
+        # The sweep must size candidates from store metadata; pulling
+        # every dead payload would make GC cost a mirror of the garbage.
+        docker_registry, gear_registry = env
+        docker_registry.delete_manifest("aaa.gear:v1")
+
+        def forbidden(identity):
+            raise AssertionError(f"GC downloaded {identity!r}")
+
+        monkeypatch.setattr(gear_registry, "download", forbidden)
+        report = collect_garbage(docker_registry, gear_registry)
+        assert report.deleted_files == 1
+        assert report.deleted_bytes > 0
+
+    def test_deleted_bytes_come_from_stored_metadata(self, env):
+        docker_registry, gear_registry = env
+        docker_registry.delete_manifest("aaa.gear:v1")
+        dry = collect_garbage(docker_registry, gear_registry, dry_run=True)
+        expected = sum(
+            gear_registry.stat(identity).stored_size
+            for identity in dry.deleted_identities
+        )
+        assert dry.deleted_bytes == expected
+
+
+class TestMarkEpochGuard:
+    def test_file_uploaded_during_mark_is_never_swept(self, env, monkeypatch):
+        # The push protocol uploads Gear files *before* the index that
+        # references them, so a file landing after the mark phase began
+        # may belong to an index the mark never saw.  Simulate the race:
+        # an upload arrives while live_identities() is walking manifests.
+        import repro.gear.gc as gc_module
+        from repro.blob import Blob
+        from repro.gear.gearfile import GearFile
+
+        docker_registry, gear_registry = env
+        racer = GearFile.from_blob(Blob.synthetic("mid-mark-upload", 800))
+        real_mark = gc_module.live_identities
+
+        def racing_mark(registry):
+            gear_registry.upload(racer)  # client pushing a new image
+            return real_mark(registry)
+
+        monkeypatch.setattr(gc_module, "live_identities", racing_mark)
+        report = collect_garbage(docker_registry, gear_registry)
+        # The racer is unreferenced (its index has not been pushed yet)
+        # but must be spared, not reclaimed.
+        assert report.skipped_recent == 1
+        assert racer.identity not in report.deleted_identities
+        assert gear_registry.query(racer.identity)
+
+    def test_spared_file_is_collected_next_pass_if_still_dead(self, env):
+        from repro.blob import Blob
+        from repro.gear.gearfile import GearFile
+
+        docker_registry, gear_registry = env
+        orphan = GearFile.from_blob(Blob.synthetic("orphan", 600))
+        # Upload after snapshotting would be spared; upload *before* the
+        # pass starts is fair game on the very next collection.
+        gear_registry.upload(orphan)
+        report = collect_garbage(docker_registry, gear_registry)
+        assert report.skipped_recent == 0
+        assert orphan.identity in report.deleted_identities
+        assert not gear_registry.query(orphan.identity)

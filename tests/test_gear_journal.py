@@ -1,0 +1,116 @@
+"""The write-ahead intent journal: appends, replay, compaction."""
+
+from repro.common.clock import SimClock
+from repro.gear.journal import (
+    FETCH_BEGIN,
+    LINK_BEGIN,
+    IntentJournal,
+)
+
+
+class TestAppends:
+    def test_records_carry_sequence_and_time(self):
+        clock = SimClock()
+        journal = IntentJournal(clock)
+        journal.fetch_begin("id-a")
+        clock.advance(1.5, "work")
+        journal.fetch_commit("id-a")
+        first, second = journal.records
+        assert (first.seq, first.op, first.at_s) == (0, FETCH_BEGIN, 0.0)
+        assert second.seq == 1 and second.at_s == 1.5
+
+    def test_appends_cost_no_virtual_time(self):
+        # The journaled admission path must stay byte-identical in time
+        # to the unjournaled one; records ride the data write stream.
+        clock = SimClock()
+        journal = IntentJournal(clock)
+        journal.fetch_begin("id-a")
+        journal.fetch_commit("id-a")
+        journal.link_begin("id-a", "/bin/a", "img.gear:v1")
+        journal.link_commit("id-a", "/bin/a", "img.gear:v1")
+        assert clock.now == 0.0
+
+    def test_clockless_journal_stamps_zero(self):
+        journal = IntentJournal()
+        record = journal.fetch_begin("id-a")
+        assert record.at_s == 0.0
+
+    def test_link_records_carry_path_and_reference(self):
+        journal = IntentJournal()
+        record = journal.link_begin("id-a", "/bin/a", "img.gear:v1")
+        assert record.op == LINK_BEGIN
+        assert record.path == "/bin/a"
+        assert record.reference == "img.gear:v1"
+
+
+class TestReplay:
+    def test_uncommitted_fetch_is_open(self):
+        journal = IntentJournal()
+        journal.fetch_begin("id-a")
+        state = journal.replay()
+        assert state.open_fetches == ["id-a"]
+        assert "id-a" not in state.committed_fetches
+
+    def test_committed_fetch_is_closed(self):
+        journal = IntentJournal()
+        journal.fetch_begin("id-a")
+        journal.fetch_commit("id-a")
+        state = journal.replay()
+        assert state.open_fetches == []
+        assert state.committed_fetches == {"id-a"}
+
+    def test_link_commit_closes_the_matching_intent(self):
+        journal = IntentJournal()
+        journal.link_begin("id-a", "/bin/a", "img.gear:v1")
+        journal.link_begin("id-b", "/bin/b", "img.gear:v1")
+        journal.link_commit("id-a", "/bin/a", "img.gear:v1")
+        state = journal.replay()
+        assert [record.identity for record in state.open_links] == ["id-b"]
+
+    def test_same_path_in_two_indexes_is_two_intents(self):
+        journal = IntentJournal()
+        journal.link_begin("id-a", "/bin/a", "one.gear:v1")
+        journal.link_begin("id-a", "/bin/a", "two.gear:v1")
+        journal.link_commit("id-a", "/bin/a", "one.gear:v1")
+        state = journal.replay()
+        assert len(state.open_links) == 1
+        assert state.open_links[0].reference == "two.gear:v1"
+
+    def test_open_links_come_back_in_begin_order(self):
+        journal = IntentJournal()
+        for index in range(5):
+            journal.link_begin(f"id-{index}", f"/f{index}", "img.gear:v1")
+        state = journal.replay()
+        assert [r.seq for r in state.open_links] == sorted(
+            r.seq for r in state.open_links
+        )
+
+    def test_refetch_after_commit_reopens(self):
+        # A committed identity can be fetched again later (e.g. after an
+        # eviction); a crash mid-refetch must classify it as open again.
+        journal = IntentJournal()
+        journal.fetch_begin("id-a")
+        journal.fetch_commit("id-a")
+        journal.fetch_begin("id-a")
+        state = journal.replay()
+        assert state.open_fetches == ["id-a"]
+        # ...but its earlier commit is still on record.
+        assert "id-a" in state.committed_fetches
+
+
+class TestCompaction:
+    def test_compact_drops_everything_and_counts(self):
+        journal = IntentJournal()
+        journal.fetch_begin("id-a")
+        journal.fetch_commit("id-a")
+        assert journal.compact() == 2
+        assert len(journal) == 0
+        assert journal.compactions == 1
+        assert journal.appended == 2  # history survives
+
+    def test_sequence_survives_compaction(self):
+        journal = IntentJournal()
+        journal.fetch_begin("id-a")
+        journal.compact()
+        record = journal.fetch_begin("id-b")
+        assert record.seq == 1

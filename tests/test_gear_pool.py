@@ -3,7 +3,8 @@
 import pytest
 
 from repro.blob import Blob
-from repro.common.errors import StorageError
+from repro.common.clock import SimClock, SimEvent
+from repro.common.errors import IntegrityError, StorageError
 from repro.gear.gearfile import GearFile
 from repro.gear.pool import EvictionPolicy, SharedFilePool
 
@@ -134,3 +135,135 @@ class TestEviction:
         pool.get(gf("a").identity)
         pool.reset_stats()
         assert pool.hits == 0
+
+    def test_reset_stats_covers_every_counter(self):
+        # Regression: quarantines and eviction_failures were once left
+        # behind by reset_stats, leaking counts across experiment phases.
+        pool = SharedFilePool(capacity_bytes=1000)
+        pinned = pool.insert(gf("a", 1000))
+        pinned.nlink += 1
+        pool.insert(gf("b", 1000))  # nothing evictable -> failure
+        pool.quarantine(gf("c").identity)
+        assert pool.eviction_failures == 1 and pool.quarantines == 1
+        pool.reset_stats()
+        assert pool.hits == 0 and pool.misses == 0
+        assert pool.evictions == 0 and pool.eviction_failures == 0
+        assert pool.quarantines == 0
+
+    def test_fifo_vs_lru_diverge_on_same_access_sequence(self):
+        # Identical inserts and touches; the policies must pick different
+        # victims: FIFO evicts the oldest insert regardless of the touch,
+        # LRU spares the touched entry and evicts the cold one.
+        victims = {}
+        for policy in (EvictionPolicy.FIFO, EvictionPolicy.LRU):
+            pool = SharedFilePool(capacity_bytes=2000, policy=policy)
+            pool.insert(gf("old", 1000))
+            pool.insert(gf("cold", 1000))
+            pool.get(gf("old").identity)
+            pool.insert(gf("new", 1000))
+            survivors = {
+                tag for tag in ("old", "cold")
+                if pool.contains(gf(tag).identity)
+            }
+            victims[policy] = {"old", "cold"} - survivors
+        assert victims[EvictionPolicy.FIFO] == {"old"}
+        assert victims[EvictionPolicy.LRU] == {"cold"}
+
+
+class TestQuarantineLifecycle:
+    def test_quarantine_then_verified_insert_lifts_it(self):
+        pool = SharedFilePool()
+        identity = gf("a").identity
+        pool.quarantine(identity)
+        assert pool.is_quarantined(identity)
+        assert not pool.contains(identity)
+        pool.insert(gf("a"))
+        assert not pool.is_quarantined(identity)
+        assert pool.contains(identity)
+        assert pool.quarantines == 1  # history, not state
+
+    def test_quarantine_purges_cached_copy(self):
+        pool = SharedFilePool()
+        pool.insert(gf("a"))
+        pool.quarantine(gf("a").identity)
+        assert not pool.contains(gf("a").identity)
+        assert pool.used_bytes == 0
+
+
+class TestTwoPhaseAdmission:
+    def test_staged_entries_are_invisible(self):
+        pool = SharedFilePool()
+        pool.prepare(gf("a"))
+        assert pool.staged_count == 1
+        assert pool.get(gf("a").identity) is None
+        assert not pool.contains(gf("a").identity)
+        assert pool.used_bytes == 0 and pool.file_count == 0
+
+    def test_commit_publishes(self):
+        pool = SharedFilePool()
+        incoming = gf("a", 700)
+        staged = pool.prepare(incoming)
+        committed = pool.commit(incoming.identity)
+        assert committed is staged
+        assert pool.staged_count == 0
+        assert pool.used_bytes == 700
+        assert pool.get(incoming.identity) is committed
+
+    def test_commit_without_prepare_raises(self):
+        pool = SharedFilePool()
+        with pytest.raises(StorageError):
+            pool.commit("never-prepared")
+
+    def test_abort_discards_staged(self):
+        pool = SharedFilePool()
+        pool.prepare(gf("a"))
+        pool.abort(gf("a").identity)
+        assert pool.staged_count == 0
+        with pytest.raises(StorageError):
+            pool.commit(gf("a").identity)
+
+    def test_prepare_verifies_content(self):
+        bad = GearFile(identity="0" * 32, blob=Blob.synthetic("junk", 100))
+        pool = SharedFilePool()
+        with pytest.raises(IntegrityError):
+            pool.prepare(bad)
+        assert pool.prepare(bad, verified=False) is not None
+        assert pool.is_staged("0" * 32)
+
+    def test_staged_bytes_do_not_trigger_eviction(self):
+        # Capacity pressure is paid at commit, not at prepare — a crash
+        # before commit must leave the published cache untouched.
+        pool = SharedFilePool(capacity_bytes=1000)
+        pool.insert(gf("resident", 1000))
+        pool.prepare(gf("incoming", 1000))
+        assert pool.contains(gf("resident").identity)
+        assert pool.evictions == 0
+        pool.commit(gf("incoming").identity)
+        assert not pool.contains(gf("resident").identity)
+        assert pool.evictions == 1
+
+    def test_insert_is_prepare_plus_commit(self):
+        pool = SharedFilePool()
+        inode = pool.insert(gf("a"))
+        assert pool.staged_count == 0
+        assert pool.get(gf("a").identity) is inode
+
+
+class TestClearCompleteness:
+    def test_clear_resets_staged_quarantine_and_inflight(self):
+        # Regression: clear() once dropped only committed files, leaving
+        # stale quarantine marks and dead single-flight events behind.
+        pool = SharedFilePool()
+        pool.insert(gf("a"))
+        pool.prepare(gf("b"))
+        pool.quarantine(gf("c").identity)
+        event = SimEvent(SimClock())
+        pool.inflight[gf("d").identity] = event
+        pool.clear()
+        assert pool.file_count == 0 and pool.used_bytes == 0
+        assert pool.staged_count == 0
+        assert not pool.is_quarantined(gf("c").identity)
+        assert not pool.inflight
+        # The pending fetch event was fired, not stranded: a waiter
+        # re-checks the (now empty) cache instead of blocking forever.
+        assert event.fired
