@@ -1,0 +1,128 @@
+"""Extension: a highly-available Gear registry tier under faults.
+
+The paper's testbed has a single registry node — a single point of
+failure the fleet experiments inherit.  This extension replicates the
+Gear registry (:mod:`repro.net.ha`): N replicas behind health-checked
+circuit breakers, hedged second fetches against slow replicas, and
+bounded admission queues that shed load instead of collapsing.
+
+The sweep crosses replica count × fault scenario × fleet size and
+reports per-client latency percentiles alongside the HA accounting —
+hedge rate, wasted hedge bytes, shed rate, failovers.  The invariants:
+
+* a whole-run outage of one replica never degrades a deployment to
+  Docker-pull fallback, and costs at most 2x the healthy p99;
+* a browned-out (slowed) replica is routed around by hedging;
+* an overloaded tier sheds typed 503s yet every deployment completes;
+* every cell replays deterministically.
+"""
+
+from repro.bench.deploy import deploy_with_gear
+from repro.bench.environment import publish_images
+from repro.bench.reporting import format_table
+from repro.net.faults import BrownoutWindow, FaultPlan, OutageWindow
+from repro.net.topology import HACluster
+
+from conftest import QUICK, run_once
+
+FLEET_SIZES = (4, 8) if QUICK else (8, 32)
+REPLICA_COUNTS = (2, 3) if QUICK else (3, 5)
+
+#: The afflicted replica's whole-run fault plans, per scenario.
+SCENARIOS = ("healthy", "outage", "brownout", "overload")
+
+
+def _cluster(scenario: str, clients: int, replicas: int) -> HACluster:
+    kwargs = {"replicas": replicas, "seed": "bench-ha"}
+    if scenario == "outage":
+        kwargs["replica_fault_plans"] = [
+            FaultPlan(
+                outages=(OutageWindow(start_s=0.0, duration_s=1e9),),
+                seed="bench-ha-outage",
+            )
+        ]
+    elif scenario == "brownout":
+        kwargs["replica_fault_plans"] = [
+            FaultPlan(
+                brownouts=(
+                    BrownoutWindow(start_s=0.0, duration_s=1e9, factor=6.0),
+                ),
+                seed="bench-ha-brownout",
+            )
+        ]
+    elif scenario == "overload":
+        kwargs["admission_capacity"] = 2
+    return HACluster(clients, **kwargs)
+
+
+def test_ext_ha_fault_sweep(benchmark, corpus):
+    """Replicas × scenario × fleet size against the nginx head image."""
+    generated = corpus.by_series["nginx"][0]
+
+    def measure(scenario: str, clients: int, replicas: int):
+        cluster = _cluster(scenario, clients, replicas)
+        publish_images(cluster.registry_testbed, [generated], convert=True)
+        cluster.registry_testbed.arm_faults()
+        return cluster.deploy_wave(
+            lambda node: deploy_with_gear(node.testbed, generated)
+        )
+
+    def sweep():
+        return {
+            (scenario, clients, replicas): measure(scenario, clients, replicas)
+            for scenario in SCENARIOS
+            for clients in FLEET_SIZES
+            for replicas in REPLICA_COUNTS
+        }
+
+    grid = run_once(benchmark, sweep)
+
+    print("\nExtension — HA registry tier under faults (per-client latency, s)")
+    print(
+        format_table(
+            ["Scenario", "Clients", "Replicas", "p50", "p95", "p99",
+             "Hedge", "Wasted (KB)", "Shed", "Failovers", "Degraded"],
+            [
+                (
+                    scenario,
+                    str(clients),
+                    str(replicas),
+                    f"{wave.p50_s:.2f}",
+                    f"{wave.p95_s:.2f}",
+                    f"{wave.p99_s:.2f}",
+                    f"{wave.hedge_rate:.0%}",
+                    f"{wave.wasted_hedge_bytes / 1e3:.1f}",
+                    f"{wave.shed_rate:.0%}",
+                    str(wave.failovers),
+                    str(wave.degraded),
+                )
+                for (scenario, clients, replicas), wave in grid.items()
+            ],
+        )
+    )
+
+    for (scenario, clients, replicas), wave in grid.items():
+        # One afflicted replica out of >= 2 never forces the degraded
+        # Docker-pull fallback: the rest of the tier absorbs its load.
+        assert wave.degraded == 0, (scenario, clients, replicas)
+        healthy = grid[("healthy", clients, replicas)]
+        if scenario == "outage":
+            # Failover keeps the outage cell within 2x the healthy p99.
+            assert wave.p99_s <= 2 * healthy.p99_s, (clients, replicas)
+            assert wave.failovers > 0
+            assert wave.breaker_trips > 0
+        if scenario == "brownout":
+            # The slow replica loses hedge races instead of stalling
+            # deployments; cancelled losers charge only moved bytes.
+            assert wave.hedges > 0
+            assert wave.hedge_wins > 0
+        if scenario == "overload":
+            # Typed 503s shed load; retries land elsewhere and every
+            # client still completes (latencies all recorded).
+            assert wave.sheds > 0
+            assert len(wave.latencies_s) == clients
+
+    # Determinism: replaying one faulty cell reproduces the report.
+    cell = ("outage", FLEET_SIZES[0], REPLICA_COUNTS[0])
+    again = measure(*cell)
+    assert again.as_dict() == grid[cell].as_dict()

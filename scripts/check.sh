@@ -1,7 +1,7 @@
 #!/usr/bin/env sh
-# Repo health gate: tier-1 tests, warnings-as-errors on the fault-injection
-# and scheduler suites, a fleet-contention determinism gate, and a full
-# bytecode compile of the source tree.
+# Repo health gate: tier-1 tests, warnings-as-errors on the fault-injection,
+# scheduler, journal/recovery, and HA suites, fleet-contention / crash /
+# HA determinism gates, and a full bytecode compile of the source tree.
 #
 # Usage: sh scripts/check.sh   (from the repo root)
 set -eu
@@ -20,6 +20,9 @@ python -W error -m pytest tests/test_sim_scheduler.py -q
 
 echo "== journal/recovery suites under -W error =="
 python -W error -m pytest tests/test_gear_journal.py tests/test_gear_recovery.py -q
+
+echo "== HA registry suites under -W error =="
+python -W error -m pytest tests/test_net_ha.py tests/test_gear_replication.py -q
 
 echo "== fleet-contention determinism gate =="
 # The concurrent simulation must be replayable: two identical sweeps
@@ -46,6 +49,23 @@ for crash_seed in 11 42; do
         "$fleet_tmp/crash-$crash_seed-run2.json"
 done
 echo "crash sweeps identical across runs for both seeds"
+
+echo "== HA determinism gate =="
+# Failover, hedging, backoff jitter, and load shedding all draw from
+# seeded streams: for each seed, two identical HA sweeps have to emit
+# byte-identical JSON reports (and exit 0, which certifies that no
+# deployment fell back to degraded mode while a replica quorum was
+# healthy).  The p2c run exercises the seeded selection stream too.
+for ha_seed in 11 42; do
+    ha_cmd="python -m repro.cli ha --series nginx --versions 2 \
+        --scale 0.2 --clients 6 --concurrency 3 --strategy p2c \
+        --ha-seed $ha_seed --json"
+    $ha_cmd > "$fleet_tmp/ha-$ha_seed-run1.json"
+    $ha_cmd > "$fleet_tmp/ha-$ha_seed-run2.json"
+    diff "$fleet_tmp/ha-$ha_seed-run1.json" \
+        "$fleet_tmp/ha-$ha_seed-run2.json"
+done
+echo "HA sweeps identical across runs for both seeds"
 
 echo "== compileall src =="
 python -m compileall -q src

@@ -19,6 +19,14 @@ from repro.gear.driver import GearDriver
 from repro.gear.pool import EvictionPolicy, SharedFilePool
 from repro.gear.registry import GearRegistry
 from repro.net.faults import FaultPlan, FaultyLink
+from repro.net.ha import (
+    AdmissionGate,
+    HAFetchPolicy,
+    HATransport,
+    HealthMonitor,
+    Replica,
+    ReplicaSet,
+)
 from repro.net.link import Link
 from repro.net.resilience import RetryPolicy
 from repro.net.transport import RpcTransport
@@ -39,24 +47,37 @@ class Testbed:
     daemon: DockerDaemon
     gear_driver: GearDriver
     fault_plan: Optional[FaultPlan] = None
+    #: The HA transport facade when this testbed has a replicated
+    #: registry tier (same object as ``transport`` then).
+    ha: Optional[HATransport] = None
+
+    def all_links(self) -> "list[Link]":
+        """Every simulated wire in the testbed (base + replica links)."""
+        links = [self.link]
+        if self.ha is not None:
+            links.extend(r.link for r in self.ha.replica_set.replicas)
+        return links
 
     def set_bandwidth(self, bandwidth_mbps: float) -> None:
         """Change the client↔registry link speed in place."""
-        self.link.bandwidth_mbps = bandwidth_mbps
+        for link in self.all_links():
+            link.bandwidth_mbps = bandwidth_mbps
 
     def arm_faults(self) -> None:
-        """Anchor the fault plan's outage windows at the current time.
+        """Anchor the fault plans' outage windows at the current time.
 
         Call after publishing/converting so outage offsets are relative
         to deployment start, not corpus-construction time.
         """
-        if isinstance(self.link, FaultyLink):
-            self.link.arm()
+        for link in self.all_links():
+            if isinstance(link, FaultyLink):
+                link.arm()
 
     def disarm_faults(self) -> None:
         """Suspend outage windows (drops/corruption stay live)."""
-        if isinstance(self.link, FaultyLink):
-            self.link.disarm()
+        for link in self.all_links():
+            if isinstance(link, FaultyLink):
+                link.disarm()
 
     def fresh_client(self) -> "Testbed":
         """Replace the client side (daemon, driver, cache) with new, empty
@@ -77,6 +98,7 @@ class Testbed:
             daemon=daemon,
             gear_driver=driver,
             fault_plan=self.fault_plan,
+            ha=self.ha,
         )
 
 
@@ -127,6 +149,108 @@ def make_testbed(
         daemon=daemon,
         gear_driver=gear_driver,
         fault_plan=fault_plan,
+    )
+
+
+def make_ha_testbed(
+    *,
+    replicas: int = 3,
+    bandwidth_mbps: float = 904.0,
+    registry_disk: DiskProfile = HDD,
+    client_disk: DiskProfile = HDD,
+    pool_capacity_bytes: Optional[int] = None,
+    pool_policy: EvictionPolicy = EvictionPolicy.LRU,
+    fault_plan: Optional[FaultPlan] = None,
+    replica_fault_plans: Optional[Sequence[Optional[FaultPlan]]] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    strategy: str = "primary-first",
+    hedging: bool = True,
+    admission_capacity: Optional[int] = None,
+    probe_interval_s: float = 0.5,
+    seed: str = "ha",
+) -> Testbed:
+    """Assemble the testbed with a replicated Gear registry tier.
+
+    ``replicas`` Gear registries each sit behind their own link and
+    transport; the Docker registry stays on the base link (``fault_plan``
+    applies there).  ``replica_fault_plans[i]`` swaps replica *i*'s link
+    for a :class:`FaultyLink` — outages, brownouts, byzantine corruption
+    per replica.  Every replica link shares the base link's
+    :class:`~repro.net.link.TransferLog`, so byte accounting
+    (``testbed.link.log``) stays fleet-wide exactly as in the
+    single-registry testbed.
+
+    The HA-level ``retry_policy`` governs failover backoff rounds;
+    replica transports carry no per-call retry — a failed attempt fails
+    over to the next replica instead of hammering the same one.
+    """
+    if replicas < 1:
+        raise ValueError("need at least one replica")
+    clock = SimClock()
+    if fault_plan is not None:
+        base_link: Link = FaultyLink(
+            clock, fault_plan, bandwidth_mbps=bandwidth_mbps
+        )
+        base_retry: Optional[RetryPolicy] = RetryPolicy(seed=f"{seed}-docker")
+    else:
+        base_link = Link(clock, bandwidth_mbps=bandwidth_mbps)
+        base_retry = None
+    base_transport = RpcTransport(base_link, retry_policy=base_retry)
+    docker_registry = DockerRegistry()
+    base_transport.bind(docker_registry.endpoint())
+
+    plans = list(replica_fault_plans) if replica_fault_plans else []
+    members = []
+    for index in range(replicas):
+        plan = plans[index] if index < len(plans) else None
+        if plan is not None:
+            replica_link: Link = FaultyLink(
+                clock, plan, bandwidth_mbps=bandwidth_mbps
+            )
+        else:
+            replica_link = Link(clock, bandwidth_mbps=bandwidth_mbps)
+        replica_link.log = base_link.log
+        replica_transport = RpcTransport(replica_link)
+        registry = GearRegistry()
+        replica_transport.bind(registry.endpoint())
+        members.append(
+            Replica(
+                f"replica-{index}",
+                index,
+                registry,
+                replica_link,
+                replica_transport,
+                admission=AdmissionGate(admission_capacity),
+            )
+        )
+    replica_set = ReplicaSet(clock, members, seed=seed)
+    policy = HAFetchPolicy(
+        replica_set,
+        strategy=strategy,
+        retry_policy=retry_policy,
+        hedging=hedging,
+        seed=seed,
+    )
+    monitor = HealthMonitor(replica_set, interval_s=probe_interval_s)
+    ha = HATransport(base_transport, policy, monitor)
+
+    converter = GearConverter(
+        clock, docker_registry, replica_set, disk=Disk(clock, registry_disk)
+    )
+    daemon = DockerDaemon(clock, ha, disk=Disk(clock, client_disk))
+    pool = SharedFilePool(capacity_bytes=pool_capacity_bytes, policy=pool_policy)
+    gear_driver = GearDriver(clock, daemon, ha, pool=pool)
+    return Testbed(
+        clock=clock,
+        link=base_link,
+        transport=ha,
+        docker_registry=docker_registry,
+        gear_registry=replica_set,
+        converter=converter,
+        daemon=daemon,
+        gear_driver=gear_driver,
+        fault_plan=fault_plan,
+        ha=ha,
     )
 
 

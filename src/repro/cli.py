@@ -10,6 +10,10 @@ Commands:
 * ``crash``    — crash-consistency sweep: kill a Gear deployment at each
   instrumented crash point, fsck, resume, and check the golden
   resume-equivalence invariant;
+* ``ha``       — highly-available registry sweep: a client fleet deploys
+  against a replicated Gear registry tier under healthy / outage /
+  brownout / byzantine / overload scenarios and the report carries
+  failover, hedging, and load-shedding accounting;
 * ``catalog``  — list the Table I series catalog.
 
 All commands run entirely in-process on the simulated testbed; sizes and
@@ -34,8 +38,15 @@ from repro.bench.deploy import (
 from repro.bench.environment import make_testbed, publish_images
 from repro.bench.reporting import format_table, gb, pct
 from repro.bench.storage import compare_storage
-from repro.net.faults import CrashPlan, CrashPoint, FaultPlan, OutageWindow
-from repro.net.topology import Cluster
+from repro.net.faults import (
+    BrownoutWindow,
+    CrashPlan,
+    CrashPoint,
+    FaultPlan,
+    OutageWindow,
+    byzantine_plan,
+)
+from repro.net.topology import Cluster, HACluster
 from repro.workloads.corpus import CorpusBuilder, CorpusConfig
 from repro.workloads.series import SERIES
 
@@ -317,6 +328,117 @@ def cmd_crash(args) -> int:
     return 0 if ok else 1
 
 
+#: The ``ha`` sweep's fault scenarios; replica 0 is always the afflicted
+#: one so primary-first selection exercises the failover machinery.
+HA_SCENARIOS = ("healthy", "outage", "brownout", "byzantine", "overload")
+
+
+def _ha_scenario_kwargs(scenario: str, args) -> dict:
+    """HACluster construction kwargs for one named scenario."""
+    kwargs = {
+        "replicas": args.replicas,
+        "bandwidth_mbps": args.bandwidth,
+        "strategy": args.strategy,
+        "hedging": not args.no_hedging,
+        "seed": f"cli-ha-{args.ha_seed}",
+    }
+    if scenario == "outage":
+        plan = FaultPlan(
+            outages=(OutageWindow(start_s=0.0, duration_s=1e9),),
+            seed=f"cli-ha-outage-{args.ha_seed}",
+        )
+        kwargs["replica_fault_plans"] = [plan]
+    elif scenario == "brownout":
+        plan = FaultPlan(
+            brownouts=(
+                BrownoutWindow(start_s=0.0, duration_s=1e9, factor=6.0),
+            ),
+            seed=f"cli-ha-brownout-{args.ha_seed}",
+        )
+        kwargs["replica_fault_plans"] = [plan]
+    elif scenario == "byzantine":
+        kwargs["replica_fault_plans"] = [
+            byzantine_plan(seed=f"cli-ha-byzantine-{args.ha_seed}")
+        ]
+    elif scenario == "overload":
+        kwargs["admission_capacity"] = args.admission
+    elif scenario != "healthy":
+        raise ValueError(f"unknown HA scenario {scenario!r}")
+    return kwargs
+
+
+def cmd_ha(args) -> int:
+    """HA registry sweep: fleet deploys under fault scenarios.
+
+    Replica 0 takes the fault in every scenario; the other replicas stay
+    healthy, so no deployment may fall back to degraded Docker mode —
+    exit code 1 if any does.  Runs are deterministic in the seeds (the
+    `scripts/check.sh` HA gate double-runs the JSON output).
+    """
+    scenarios = args.scenario or list(HA_SCENARIOS)
+    unknown = [s for s in scenarios if s not in HA_SCENARIOS]
+    if unknown:
+        print(f"ha: unknown scenario(s) {unknown}; "
+              f"expected {list(HA_SCENARIOS)}", file=sys.stderr)
+        return 2
+    corpus = _corpus(args, series=(args.target,))
+    generated = corpus.by_series[args.target][0]
+    concurrency = args.concurrency or args.clients
+    report = {
+        "target": generated.reference,
+        "bandwidth_mbps": args.bandwidth,
+        "clients": args.clients,
+        "concurrency": concurrency,
+        "replicas": args.replicas,
+        "strategy": args.strategy,
+        "hedging": not args.no_hedging,
+        "scenarios": {},
+    }
+    ok = True
+    for scenario in scenarios:
+        cluster = HACluster(
+            args.clients, **_ha_scenario_kwargs(scenario, args)
+        )
+        publish_images(cluster.registry_testbed, [generated], convert=True)
+        cluster.registry_testbed.arm_faults()
+        wave = cluster.deploy_wave(
+            lambda node: deploy_with_gear(node.testbed, generated),
+            concurrency=concurrency,
+        )
+        ok = ok and wave.degraded == 0
+        report["scenarios"][scenario] = wave.as_dict()
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+        return 0 if ok else 1
+    print(
+        f"HA sweep of {generated.reference}: {args.clients} clients, "
+        f"{concurrency} concurrent, {args.replicas} replicas "
+        f"@ {args.bandwidth:g} Mbps ({args.strategy}, "
+        f"hedging {'off' if args.no_hedging else 'on'})"
+    )
+    print(
+        format_table(
+            ["Scenario", "p50 (s)", "p99 (s)", "Hedge rate", "Failovers",
+             "Sheds", "Trips", "Demoted", "Degraded"],
+            [
+                (
+                    scenario,
+                    f"{wave['p50_s']:.2f}",
+                    f"{wave['p99_s']:.2f}",
+                    pct(wave["hedge_rate"]),
+                    str(wave["failovers"]),
+                    str(wave["sheds"]),
+                    str(wave["breaker_trips"]),
+                    str(wave["demotions"]),
+                    str(wave["degraded"]),
+                )
+                for scenario, wave in report["scenarios"].items()
+            ],
+        )
+    )
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (shared options on every command)."""
     common = argparse.ArgumentParser(add_help=False)
@@ -393,6 +515,36 @@ def build_parser() -> argparse.ArgumentParser:
     )
     crash.add_argument("--json", action="store_true",
                        help="emit the sweep report as one JSON line")
+    ha = sub.add_parser(
+        "ha", parents=[common],
+        help="highly-available registry sweep under fault scenarios",
+    )
+    ha.add_argument("--target", default="nginx")
+    ha.add_argument("--bandwidth", type=float, default=904.0)
+    ha.add_argument("--clients", type=int, default=8,
+                    help="number of client nodes in the fleet")
+    ha.add_argument("--concurrency", type=int, default=0,
+                    help="clients deploying simultaneously per wave "
+                         "(default: all of them)")
+    ha.add_argument("--replicas", type=int, default=3,
+                    help="Gear registry replicas")
+    ha.add_argument("--strategy", default="primary-first",
+                    choices=["primary-first", "least-loaded", "p2c"],
+                    help="replica selection strategy")
+    ha.add_argument("--no-hedging", action="store_true",
+                    help="disable hedged second fetches")
+    ha.add_argument("--admission", type=int, default=2,
+                    help="per-replica admission capacity in the "
+                         "overload scenario")
+    ha.add_argument(
+        "--scenario", nargs="*", default=None,
+        help=f"scenarios to run (default: all of {list(HA_SCENARIOS)})",
+    )
+    ha.add_argument("--ha-seed", default="0",
+                    help="seed token for replica selection, hedging, "
+                         "backoff, and fault streams")
+    ha.add_argument("--json", action="store_true",
+                    help="emit the sweep report as one JSON line")
     return parser
 
 
@@ -411,6 +563,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_deploy(args)
     if args.command == "crash":
         return cmd_crash(args)
+    if args.command == "ha":
+        return cmd_ha(args)
     raise AssertionError("unreachable")
 
 

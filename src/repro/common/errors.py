@@ -53,6 +53,33 @@ class CorruptPayloadError(TransportError):
     """
 
 
+class RegistryOverloadedError(UnavailableError):
+    """The registry's bounded admission queue shed this request (503).
+
+    Raised by a replica's admission gate when more requests are in
+    flight than it will queue.  Derives from
+    :class:`UnavailableError` so every existing resilience path —
+    :class:`~repro.net.resilience.RetryPolicy` backoff, replica
+    failover, the degraded Docker-pull fallback — treats overload as
+    the transient condition it is.
+    """
+
+
+class FetchCancelledError(TransportError):
+    """An in-flight transfer was cancelled by its initiator.
+
+    Hedged fetches cancel the losing replica's transfer the moment the
+    winner lands; the cancelled flow is charged only the bytes it
+    actually moved.  Never retried: the caller already has the payload
+    from the winning replica.
+    """
+
+    def __init__(self, message: str, *, bytes_transferred: int = 0) -> None:
+        super().__init__(message)
+        #: Payload bytes the cancelled flow had moved before cancellation.
+        self.bytes_transferred = bytes_transferred
+
+
 class ClientCrash(ReproError):
     """The simulated client process died at an injected crash point.
 

@@ -1,0 +1,62 @@
+"""Small deterministic statistics helpers shared across layers.
+
+:func:`percentile` is the *single* nearest-rank implementation in the
+tree.  Both the fleet wave reports (:mod:`repro.net.topology`) and the
+hedging deadline estimator (:mod:`repro.net.ha`) quote percentiles; they
+must agree on the semantics for tiny samples (n = 1, 2) or a hedge
+deadline derived from one observation would disagree with the p99 the
+report prints for the same data.  Keeping one helper keeps them honest.
+
+:func:`reset_counter_fields` is the reflection-based reset used by every
+stats dataclass (RPC, fault, viewer, HA).  Resetting by enumerating
+fields means a newly added counter can never be silently left out of a
+``reset_stats()`` path — the failure mode PR 1's hand-written resets had.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+from typing import List, Tuple
+
+
+def percentile(values: "List[float] | Tuple[float, ...]", q: float) -> float:
+    """Nearest-rank percentile (deterministic; no interpolation).
+
+    ``q`` is in [0, 100].  The nearest-rank definition keeps reports
+    reproducible byte-for-byte across runs and platforms.  Boundary
+    semantics for tiny samples: with one value every ``q`` returns it;
+    with two values ``q <= 50`` returns the smaller and ``q > 50`` the
+    larger (rank = max(1, ceil(q/100 * n))).
+    """
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0 <= q <= 100:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
+    return ordered[min(rank, len(ordered)) - 1]
+
+
+def reset_counter_fields(stats: object) -> None:
+    """Reset every dataclass field of ``stats`` to its declared default.
+
+    Only fields with a plain default are touched (counters default to
+    ``0``/``0.0``/``False``/``""``); fields built by a default factory
+    are reset by calling it.  Raises ``TypeError`` on non-dataclasses so
+    a refactor away from dataclasses cannot silently turn resets into
+    no-ops.
+    """
+    if not dataclasses.is_dataclass(stats) or isinstance(stats, type):
+        raise TypeError(f"expected a stats dataclass instance, got {stats!r}")
+    for field in dataclasses.fields(stats):
+        if field.default is not dataclasses.MISSING:
+            setattr(stats, field.name, field.default)
+        elif field.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
+            setattr(stats, field.name, field.default_factory())  # type: ignore[misc]
+        else:
+            raise TypeError(
+                f"stats field {field.name!r} on {type(stats).__name__} has "
+                f"no default; every counter needs one so reset_stats() can "
+                f"restore it"
+            )

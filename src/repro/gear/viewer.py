@@ -245,8 +245,15 @@ class GearFileViewer(OverlayMount):
             ):
                 return gear_file
             # Corrupt payload: quarantine it (never cache poison) and
-            # re-fetch rather than failing the read outright.
+            # re-fetch rather than failing the read outright.  An
+            # HA-aware transport also wants to know — wrong bytes that
+            # passed the wire checksum mean the *replica* is lying, so
+            # it demotes the server that sent them before the re-fetch
+            # picks a target.
             self.fault_stats.integrity_failures += 1
+            notify = getattr(self.transport, "report_corrupt_payload", None)
+            if notify is not None:
+                notify(identity)
             self.pool.quarantine(identity)
             if refetches_left <= 0:
                 raise IntegrityError(

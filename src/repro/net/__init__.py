@@ -7,24 +7,57 @@ exactly those effects: each transfer pays a round-trip plus payload bytes
 divided by bandwidth, on the shared virtual clock.
 
 Beyond the paper, :mod:`repro.net.faults` injects deterministic wire
-faults (drops, corruption, latency spikes, outages) and
+faults (drops, corruption, latency spikes, outages, brownouts),
 :mod:`repro.net.resilience` supplies the retry/backoff machinery the
-transport applies against them.
+transport applies against them, and :mod:`repro.net.ha` adds the
+replicated serving tier: replica sets with failover, hedged fetches,
+circuit breakers, and load shedding.
 """
 
-from repro.net.faults import FaultPlan, FaultyLink, OutageWindow, lossy_plan
+from repro.net.faults import (
+    BrownoutWindow,
+    FaultPlan,
+    FaultyLink,
+    OutageWindow,
+    byzantine_plan,
+    lossy_plan,
+)
+from repro.net.ha import (
+    AdmissionGate,
+    BreakerState,
+    CircuitBreaker,
+    HAFetchPolicy,
+    HATransport,
+    HealthMonitor,
+    HedgeEstimator,
+    Replica,
+    ReplicaSet,
+    ScrubReport,
+)
 from repro.net.link import Link, TransferLog
 from repro.net.resilience import RetryPolicy
 from repro.net.transport import RpcEndpoint, RpcTransport
 
 __all__ = [
+    "AdmissionGate",
+    "BreakerState",
+    "BrownoutWindow",
+    "CircuitBreaker",
     "FaultPlan",
     "FaultyLink",
+    "HAFetchPolicy",
+    "HATransport",
+    "HealthMonitor",
+    "HedgeEstimator",
     "Link",
     "OutageWindow",
+    "Replica",
+    "ReplicaSet",
     "RetryPolicy",
     "RpcEndpoint",
     "RpcTransport",
+    "ScrubReport",
     "TransferLog",
+    "byzantine_plan",
     "lossy_plan",
 ]

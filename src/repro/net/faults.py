@@ -59,6 +59,35 @@ class OutageWindow:
 
 
 @dataclass(frozen=True)
+class BrownoutWindow:
+    """A time span during which the targeted peer is slow, not down.
+
+    Models the server-side degradation between healthy and dead: an
+    overloaded or GC-thrashing replica that still answers, just at
+    ``factor`` times its nominal service time.  Brownouts are what make
+    hedged fetches earn their keep — an outage is caught by the breaker,
+    but a brownout only shows up as latency.
+    """
+
+    start_s: float
+    duration_s: float
+    factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        if self.start_s < 0 or self.duration_s < 0:
+            raise ValueError("brownout start and duration must be non-negative")
+        if self.factor < 1.0:
+            raise ValueError("brownout factor must be >= 1")
+
+    @property
+    def end_s(self) -> float:
+        return self.start_s + self.duration_s
+
+    def contains(self, offset_s: float) -> bool:
+        return self.start_s <= offset_s < self.end_s
+
+
+@dataclass(frozen=True)
 class FaultPlan:
     """A declarative description of how the wire misbehaves.
 
@@ -77,6 +106,9 @@ class FaultPlan:
     * ``outages`` — windows (relative to arming) during which every
       attempt fails with :class:`~repro.common.errors.UnavailableError`
       after charging ``outage_stall_s``.
+    * ``brownouts`` — windows (relative to arming) during which every
+      transfer is stretched by the window's slowdown factor; the
+      transfer still succeeds.  The server-side analogue of a spike.
     * ``targets`` — endpoint names the plan applies to; ``None`` means
       all RPC traffic.  Transfers outside any RPC call are never
       touched.
@@ -91,6 +123,7 @@ class FaultPlan:
     timeout_s: float = 1.0
     outage_stall_s: float = 0.5
     outages: Tuple[OutageWindow, ...] = ()
+    brownouts: Tuple[BrownoutWindow, ...] = ()
     targets: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
@@ -118,6 +151,7 @@ class FaultPlan:
             and self.corrupt_rate == 0.0
             and self.spike_rate == 0.0
             and not self.outages
+            and not self.brownouts
         )
 
 
@@ -130,10 +164,16 @@ class LinkFaultStats:
     corruptions_detected: int = 0
     spikes: int = 0
     outage_rejections: int = 0
+    brownout_stretches: int = 0
 
     @property
     def total_faults(self) -> int:
         return self.drops + self.corruptions + self.outage_rejections
+
+    def reset(self) -> None:
+        from repro.common.stats import reset_counter_fields
+
+        reset_counter_fields(self)
 
 
 class FaultyLink(Link):
@@ -223,6 +263,15 @@ class FaultyLink(Link):
                 return window
         return None
 
+    def _current_brownout(self) -> Optional[BrownoutWindow]:
+        if self._armed_at is None:
+            return None
+        offset = self.clock.now - self._armed_at
+        for window in self.plan.brownouts:
+            if window.contains(offset):
+                return window
+        return None
+
     def transfer(self, payload_bytes: int, label: str = "") -> float:
         if not self._active:
             return super().transfer(payload_bytes, label)
@@ -246,6 +295,11 @@ class FaultyLink(Link):
             self.fault_stats.spikes += 1
             extra = self.transfer_time(payload_bytes) * (plan.spike_factor - 1)
             self.clock.advance(extra, f"fault-spike:{label}")
+        brownout = self._current_brownout()
+        if brownout is not None:
+            self.fault_stats.brownout_stretches += 1
+            extra = self.transfer_time(payload_bytes) * (brownout.factor - 1)
+            self.clock.advance(extra, f"fault-brownout:{label}")
         return super().transfer(payload_bytes, label)
 
     def roll_corruption(self) -> Optional[str]:
@@ -428,5 +482,26 @@ def lossy_plan(
         seed=seed,
         drop_rate=drop_rate,
         corrupt_rate=corrupt_rate,
+        targets=targets,
+    )
+
+
+def byzantine_plan(
+    seed: str = "byzantine",
+    *,
+    corrupt_rate: float = 1.0,
+    targets: Optional[Tuple[str, ...]] = None,
+) -> FaultPlan:
+    """A replica that serves wrong bytes with a straight face.
+
+    Every corruption is *undetected* at the transport layer
+    (``corrupt_detect_rate=0``) so only the end-to-end fingerprint
+    verification in the Gear File Viewer can catch it — which it does,
+    and converts into a replica demotion signal (DESIGN.md §10).
+    """
+    return FaultPlan(
+        seed=seed,
+        corrupt_rate=corrupt_rate,
+        corrupt_detect_rate=0.0,
         targets=targets,
     )

@@ -17,9 +17,10 @@ bit, and with N flows each progresses at 1/N of real time.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from repro.common.clock import Process, SimClock, SimScheduler
+from repro.common.errors import FetchCancelledError
 from repro.common.units import Mbps, mbps_to_bytes_per_s
 
 #: Remaining service below this many seconds counts as complete (guards
@@ -87,7 +88,8 @@ class _Flow:
     """One in-flight transfer under processor sharing."""
 
     __slots__ = ("remaining_s", "nominal_s", "start", "payload_bytes",
-                 "label", "waiters", "contended")
+                 "label", "waiters", "contended", "cancelled",
+                 "partial_bytes")
 
     def __init__(self, nominal_s: float, start: float, payload_bytes: int,
                  label: str) -> None:
@@ -98,6 +100,10 @@ class _Flow:
         self.label = label
         self.waiters: List[Process] = []
         self.contended = False
+        #: Set by :meth:`Link.cancel_flows_of`: the transfer was aborted
+        #: mid-flight and only ``partial_bytes`` of the payload moved.
+        self.cancelled = False
+        self.partial_bytes = 0
 
 
 class Link:
@@ -138,6 +144,10 @@ class Link:
         self.log = TransferLog()
         #: Active flows (scheduler mode only), in arrival order.
         self._flows: List[_Flow] = []
+        #: Processes with a pending cancellation but no active flow on
+        #: this link right now (e.g. parked in a fault stall): their next
+        #: transfer attempt raises instead of starting a new flow.
+        self._cancel_pending: Set[Process] = set()
         self._last_update = clock.now
         self._completion_event = None
         #: Cumulative seconds the link spent carrying at least one
@@ -212,6 +222,12 @@ class Link:
         nominal_s: float,
         label: str,
     ) -> float:
+        if process in self._cancel_pending:
+            self._cancel_pending.discard(process)
+            raise FetchCancelledError(
+                f"transfer cancelled before start: {label or payload_bytes}",
+                bytes_transferred=0,
+            )
         start = self.clock.now
         self._progress_flows()
         flow = _Flow(nominal_s, start, payload_bytes, label)
@@ -225,6 +241,20 @@ class Link:
         self._reschedule(scheduler)
         scheduler._suspend(process)
         elapsed = self.clock.now - start
+        if flow.cancelled:
+            self.clock.note(f"cancelled:{label or payload_bytes}")
+            self.log.append(
+                TransferRecord(
+                    start=start,
+                    duration=elapsed,
+                    payload_bytes=flow.partial_bytes,
+                    label=f"{label}:cancelled" if label else "cancelled",
+                )
+            )
+            raise FetchCancelledError(
+                f"transfer cancelled in flight: {label or payload_bytes}",
+                bytes_transferred=flow.partial_bytes,
+            )
         duration = flow.nominal_s if not flow.contended else elapsed
         self.clock.note(label or f"transfer:{payload_bytes}B")
         self.log.append(
@@ -280,6 +310,50 @@ class Link:
             for process in flow.waiters:
                 scheduler._wake(process)
         self._reschedule(scheduler)
+
+    # -- hedged-fetch cancellation -----------------------------------------
+
+    def cancel_flows(self, process: Process) -> int:
+        """Abort every in-flight transfer ``process`` is waiting on.
+
+        Used by the hedging controller to kill the losing replica fetch
+        the moment the winner lands.  Each cancelled flow is charged only
+        the payload fraction it had actually moved under fair sharing
+        (the losing transfer did consume link capacity until now — that
+        is the "wasted hedge bytes" the benchmark reports).  The waiter
+        wakes and raises :class:`FetchCancelledError` carrying the
+        partial byte count.
+
+        If the process has no active flow on this link (it is parked in
+        a fault stall or between request and response frames), a pending
+        cancellation is recorded instead: its *next* transfer attempt on
+        this link raises immediately at zero bytes.  Returns the number
+        of flows actually cancelled.
+        """
+        scheduler = self.clock.scheduler
+        if scheduler is None:
+            raise RuntimeError("cancel_flows requires a scheduler")
+        self._progress_flows()
+        victims = [flow for flow in self._flows if process in flow.waiters]
+        if not victims:
+            self._cancel_pending.add(process)
+            return 0
+        for flow in victims:
+            if flow.nominal_s > 0:
+                done_frac = 1.0 - max(flow.remaining_s, 0.0) / flow.nominal_s
+            else:
+                done_frac = 1.0
+            flow.partial_bytes = int(flow.payload_bytes * min(max(done_frac, 0.0), 1.0))
+            flow.cancelled = True
+            self._flows.remove(flow)
+            for waiter in flow.waiters:
+                scheduler._wake(waiter)
+        self._reschedule(scheduler)
+        return len(victims)
+
+    def clear_cancel(self, process: Process) -> None:
+        """Drop a pending cancellation that never met a transfer."""
+        self._cancel_pending.discard(process)
 
     def with_bandwidth(self, bandwidth_mbps: float) -> "Link":
         """A new link on the same clock with a different bandwidth."""

@@ -14,6 +14,7 @@ on every run, keeping experiments reproducible.
 
 from __future__ import annotations
 
+import random
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -51,6 +52,13 @@ class RetryPolicy:
     deadline_s: Optional[float] = 30.0
     budget_s: Optional[float] = 120.0
     seed: str = "retry"
+    #: Injected jitter stream.  Defaults to a fresh seeded stream derived
+    #: from ``seed``; pass an explicit ``random.Random`` to share one
+    #: deterministic stream across several policies (the HA layer does
+    #: this so backoff draws interleave reproducibly across replicas).
+    rng: Optional[random.Random] = field(
+        default=None, repr=False, compare=False
+    )
     #: Backoff seconds spent so far (across all calls using this policy).
     spent_s: float = field(default=0.0, init=False)
 
@@ -63,7 +71,9 @@ class RetryPolicy:
             raise ValueError("deadline must be positive when set")
         if self.budget_s is not None and self.budget_s < 0:
             raise ValueError("budget must be non-negative when set")
-        self._rng = rng_for("net-retry", self.seed)
+        self._rng = self.rng if self.rng is not None else rng_for(
+            "net-retry", self.seed
+        )
 
     @staticmethod
     def is_retryable(error: BaseException) -> bool:

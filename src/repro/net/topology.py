@@ -22,27 +22,16 @@ Two deployment disciplines are supported:
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.bench.environment import Testbed, make_testbed
+from repro.bench.environment import Testbed, make_ha_testbed, make_testbed
 from repro.common.clock import SimClock, SimScheduler
 
-
-def percentile(values: "List[float] | Tuple[float, ...]", q: float) -> float:
-    """Nearest-rank percentile (deterministic; no interpolation).
-
-    ``q`` is in [0, 100].  The nearest-rank definition keeps reports
-    reproducible byte-for-byte across runs and platforms.
-    """
-    if not values:
-        raise ValueError("percentile of an empty sequence")
-    if not 0 <= q <= 100:
-        raise ValueError(f"percentile must be in [0, 100], got {q}")
-    ordered = sorted(values)
-    rank = max(1, math.ceil(q / 100.0 * len(ordered)))
-    return ordered[min(rank, len(ordered)) - 1]
+# The single nearest-rank implementation lives in repro.common.stats so
+# wave reports and the HA hedging deadline estimator cannot disagree on
+# tiny-sample semantics; re-exported here for existing callers.
+from repro.common.stats import percentile
 
 
 @dataclass
@@ -126,10 +115,13 @@ class Cluster:
         *,
         bandwidth_mbps: float = 904.0,
         registry_uplink_mbps: Optional[float] = None,
+        root: Optional[Testbed] = None,
     ) -> None:
         if node_count <= 0:
             raise ValueError("a cluster needs at least one node")
-        self._root = make_testbed(bandwidth_mbps=bandwidth_mbps)
+        self._root = root if root is not None else make_testbed(
+            bandwidth_mbps=bandwidth_mbps
+        )
         self.registry_uplink_mbps = registry_uplink_mbps or bandwidth_mbps
         self.nodes: List[ClientNode] = []
         for index in range(node_count):
@@ -216,4 +208,168 @@ class Cluster:
             makespan_s=clock.now - start,
             egress_bytes=self.registry_egress_bytes - egress_before,
             uplink_busy_s=link.busy_seconds - busy_before,
+        )
+
+
+@dataclass(frozen=True)
+class HAWaveReport(WaveReport):
+    """A wave against a replicated registry tier: failover accounting."""
+
+    fetches: int = 0
+    hedges: int = 0
+    hedge_wins: int = 0
+    cancels: int = 0
+    wasted_hedge_bytes: int = 0
+    sheds: int = 0
+    failovers: int = 0
+    backoffs: int = 0
+    breaker_trips: int = 0
+    demotions: int = 0
+    #: Deployments that fell back to degraded Docker-pull mode (counted
+    #: when the wave action returns a result with a ``degraded`` flag).
+    degraded: int = 0
+    probes: int = 0
+
+    @property
+    def hedge_rate(self) -> float:
+        return self.hedges / self.fetches if self.fetches else 0.0
+
+    @property
+    def shed_rate(self) -> float:
+        return self.sheds / self.fetches if self.fetches else 0.0
+
+    def as_dict(self) -> Dict[str, object]:
+        summary = super().as_dict()
+        summary.update(
+            {
+                "fetches": self.fetches,
+                "hedges": self.hedges,
+                "hedge_wins": self.hedge_wins,
+                "hedge_rate": self.hedge_rate,
+                "cancels": self.cancels,
+                "wasted_hedge_bytes": self.wasted_hedge_bytes,
+                "sheds": self.sheds,
+                "shed_rate": self.shed_rate,
+                "failovers": self.failovers,
+                "backoffs": self.backoffs,
+                "breaker_trips": self.breaker_trips,
+                "demotions": self.demotions,
+                "degraded": self.degraded,
+                "probes": self.probes,
+            }
+        )
+        return summary
+
+
+class HACluster(Cluster):
+    """A cluster whose registry tier is a :class:`~repro.net.ha.ReplicaSet`.
+
+    Same node model as :class:`Cluster`, but the root testbed carries N
+    replicated Gear registries behind the :class:`~repro.net.ha.
+    HATransport`, and :meth:`deploy_wave` runs the health-monitor probe
+    process alongside the clients and reports HA accounting deltas.
+    """
+
+    def __init__(
+        self,
+        node_count: int,
+        *,
+        bandwidth_mbps: float = 904.0,
+        registry_uplink_mbps: Optional[float] = None,
+        **ha_kwargs: Any,
+    ) -> None:
+        root = make_ha_testbed(bandwidth_mbps=bandwidth_mbps, **ha_kwargs)
+        super().__init__(
+            node_count,
+            bandwidth_mbps=bandwidth_mbps,
+            registry_uplink_mbps=registry_uplink_mbps,
+            root=root,
+        )
+
+    @property
+    def ha(self):
+        return self._root.ha
+
+    def deploy_wave(
+        self,
+        action: Callable[[ClientNode], Any],
+        *,
+        concurrency: Optional[int] = None,
+    ) -> HAWaveReport:
+        """Concurrent waves with the health monitor running alongside.
+
+        The monitor is an infinite probe loop, so the wave cannot simply
+        drain the heap: each client is awaited with ``run_until``, then
+        the monitor is stopped and the heap drained (its final wake-up
+        plus any straggler hedge losers).  The makespan is measured to
+        the *last client completion* — straggler wake-ups during the
+        drain do not inflate it.  When ``action`` returns an object with
+        a ``degraded`` attribute (a ``DeploymentResult``), degraded-mode
+        fallbacks are counted into the report.
+        """
+        if concurrency is None:
+            concurrency = len(self.nodes)
+        if concurrency <= 0:
+            raise ValueError("concurrency must be positive")
+        ha = self.ha
+        if ha is None:
+            raise ValueError("HACluster root testbed has no HA transport")
+        clock = self.clock
+        stats = ha.policy.stats
+        replicas = ha.replica_set.replicas
+        before = stats.as_dict()
+        trips_before = ha.replica_set.breaker_trips
+        probes_before = sum(r.stats.probes for r in replicas)
+        busy_before = sum(link.busy_seconds for link in self._root.all_links())
+        egress_before = self.registry_egress_bytes
+        start = clock.now
+        latencies: Dict[str, float] = {}
+        finished_at: List[float] = []
+        degraded_total = [0]
+
+        def client(node: ClientNode) -> None:
+            begun = clock.now
+            outcome = action(node)
+            latencies[node.name] = clock.now - begun
+            finished_at.append(clock.now)
+            if outcome is not None and getattr(outcome, "degraded", False):
+                degraded_total[0] += 1
+
+        with SimScheduler(clock) as scheduler:
+            if ha.monitor is not None:
+                ha.monitor.start(scheduler)
+            for offset in range(0, len(self.nodes), concurrency):
+                batch = [
+                    scheduler.spawn(client, node, name=node.name)
+                    for node in self.nodes[offset:offset + concurrency]
+                ]
+                for process in batch:
+                    scheduler.run_until(process)
+            if ha.monitor is not None:
+                ha.monitor.stop()
+            scheduler.run()
+
+        after = stats.as_dict()
+        delta = {key: after[key] - before[key] for key in after}
+        return HAWaveReport(
+            concurrency=concurrency,
+            latencies_s=tuple(latencies[node.name] for node in self.nodes),
+            makespan_s=(max(finished_at) - start) if finished_at else 0.0,
+            egress_bytes=self.registry_egress_bytes - egress_before,
+            uplink_busy_s=(
+                sum(link.busy_seconds for link in self._root.all_links())
+                - busy_before
+            ),
+            fetches=delta["fetches"],
+            hedges=delta["hedges"],
+            hedge_wins=delta["hedge_wins"],
+            cancels=delta["cancels"],
+            wasted_hedge_bytes=delta["wasted_hedge_bytes"],
+            sheds=delta["sheds_seen"],
+            failovers=delta["failovers"],
+            backoffs=delta["backoffs"],
+            breaker_trips=ha.replica_set.breaker_trips - trips_before,
+            demotions=delta["demotions"],
+            degraded=degraded_total[0],
+            probes=sum(r.stats.probes for r in replicas) - probes_before,
         )

@@ -47,6 +47,13 @@ class RpcStats:
     retries: int = 0
     giveups: int = 0
 
+    def reset(self) -> None:
+        """Zero every counter — by reflection, so a newly added field
+        can never be silently left out of a reset path."""
+        from repro.common.stats import reset_counter_fields
+
+        reset_counter_fields(self)
+
 
 class RpcEndpoint:
     """A named service exposing methods over a link."""
@@ -98,6 +105,11 @@ class RpcTransport:
         if endpoint is None:
             raise TransportError(f"no endpoint named {name!r}")
         return endpoint
+
+    def reset_stats(self) -> None:
+        """Reset every bound endpoint's call accounting."""
+        for endpoint in self._endpoints.values():
+            endpoint.stats.reset()
 
     def has_endpoint(self, name: str) -> bool:
         """Whether an endpoint named ``name`` is bound to this transport.

@@ -94,13 +94,34 @@ class TestPercentile:
         assert percentile(values, 0) == 1.0
 
     def test_single_value(self):
+        # n=1: every quantile is the lone sample (rank clamps to 1).
         assert percentile([7.5], 99) == 7.5
+        assert percentile([7.5], 0) == 7.5
+        assert percentile([7.5], 100) == 7.5
+
+    def test_two_values_boundary(self):
+        # n=2, agreed nearest-rank semantics: q <= 50 takes the smaller
+        # sample, q > 50 the larger (rank = max(1, ceil(q/100 * 2))).
+        assert percentile([5.0, 1.0], 0) == 1.0
+        assert percentile([5.0, 1.0], 50) == 1.0
+        assert percentile([5.0, 1.0], 50.001) == 5.0
+        assert percentile([5.0, 1.0], 95) == 5.0
+        assert percentile([5.0, 1.0], 100) == 5.0
+
+    def test_shared_helper_with_hedging_estimator(self):
+        # Wave reports and the HA hedge-deadline estimator must agree on
+        # tiny-sample semantics: both import the one implementation.
+        from repro.common.stats import percentile as stats_percentile
+
+        assert percentile is stats_percentile
 
     def test_rejects_empty_and_out_of_range(self):
         with pytest.raises(ValueError):
             percentile([], 50)
         with pytest.raises(ValueError):
             percentile([1.0], 101)
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.5)
 
 
 def _fresh_cluster(small_corpus, nodes=3):
