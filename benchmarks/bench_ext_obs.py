@@ -1,0 +1,113 @@
+"""Extension: the telemetry plane's overhead and attribution quality.
+
+The span instrumentation is always-on in the code — ``clock.span(...)``
+sits in every hot path — so its cost when *detached* (no tracer) must be
+negligible: one attribute check returning a shared null object.  This
+benchmark measures that directly (wall-clock per call), compares a full
+traced deployment against an untraced one, and asserts the analysis
+side's quality bar: the span tree covers >= 95% of the deploy makespan
+and the per-phase exclusive times sum to the deploy total exactly.
+
+All assertions here ride the Fig. 9 testbed (nginx head image, 100 Mbps)
+— the same configuration the `repro.cli trace` acceptance gate uses.
+"""
+
+import time
+
+from repro.bench.deploy import deploy_with_gear
+from repro.bench.environment import make_testbed, publish_images
+from repro.bench.reporting import format_table
+from repro.common.clock import NULL_SPAN, SimClock
+from repro.obs import critical_path
+
+from conftest import run_once
+
+#: Detached ``clock.span`` calls per timing loop.
+CALLS = 200_000
+#: Wall-clock budget per detached call: generous even for slow CI boxes;
+#: a real regression (allocation, tracer work) blows through it by 10x.
+DETACHED_BUDGET_S = 5e-6
+
+
+def _time_span_calls(clock: SimClock, calls: int) -> float:
+    """Wall seconds per ``clock.span(...)`` call (labels included)."""
+    span = clock.span  # the call sites' cost, minus attribute lookup noise
+    start = time.perf_counter()
+    for _ in range(calls):
+        with span("fetch_file", fp="abcdef123456"):
+            pass
+    return (time.perf_counter() - start) / calls
+
+
+def _timed_deploy(corpus, *, traced: bool):
+    """One cold Gear deploy; returns (wall_s, tracer, result)."""
+    generated = corpus.by_series["nginx"][0]
+    testbed = make_testbed(bandwidth_mbps=100)
+    publish_images(testbed, [generated], convert=True)
+    tracer = testbed.attach_tracer() if traced else None
+    start = time.perf_counter()
+    result = deploy_with_gear(testbed, generated)
+    return time.perf_counter() - start, tracer, result
+
+
+def test_ext_obs_overhead_and_attribution(benchmark, corpus):
+    """Detached spans are free; attached tracing attributes the makespan."""
+
+    def measure():
+        detached_clock = SimClock()
+        attached_clock = SimClock()
+        attached_clock.attach_tracer()
+        per_call_detached = _time_span_calls(detached_clock, CALLS)
+        per_call_attached = _time_span_calls(attached_clock, CALLS)
+        wall_off, _, result_off = _timed_deploy(corpus, traced=False)
+        wall_on, tracer, result_on = _timed_deploy(corpus, traced=True)
+        return {
+            "per_call_detached_s": per_call_detached,
+            "per_call_attached_s": per_call_attached,
+            "deploy_wall_off_s": wall_off,
+            "deploy_wall_on_s": wall_on,
+            "tracer": tracer,
+            "result_off": result_off,
+            "result_on": result_on,
+        }
+
+    out = run_once(benchmark, measure)
+
+    # Detached instrumentation must be negligible — the property that
+    # lets span calls live unguarded in every hot path.
+    assert out["per_call_detached_s"] < DETACHED_BUDGET_S, (
+        f"detached clock.span costs {out['per_call_detached_s']:.2e} s/call"
+    )
+    # And genuinely a null object, not a cheap allocation.
+    assert SimClock().span("x") is NULL_SPAN
+
+    # Tracing must not perturb the simulation itself.
+    assert out["result_on"].total_s == out["result_off"].total_s
+    assert out["result_on"].network_bytes == out["result_off"].network_bytes
+
+    # Attribution quality on the traced run: the acceptance bar the CLI
+    # gate enforces, asserted here against the same testbed.
+    report = critical_path(out["tracer"], root="deploy")
+    assert report is not None
+    assert report.coverage >= 0.95
+    assert abs(report.phase_sum() - report.total_s) < 1e-6
+    assert abs(report.total_s - out["result_on"].total_s) < 1e-6
+
+    spans = len(out["tracer"].finished_spans())
+    print("\nExtension — telemetry plane overhead")
+    print(
+        format_table(
+            ["Measurement", "Value"],
+            [
+                ("span call, detached", f"{out['per_call_detached_s'] * 1e9:,.0f} ns"),
+                ("span call, attached", f"{out['per_call_attached_s'] * 1e9:,.0f} ns"),
+                ("deploy wall, untraced", f"{out['deploy_wall_off_s'] * 1e3:.1f} ms"),
+                ("deploy wall, traced", f"{out['deploy_wall_on_s'] * 1e3:.1f} ms"),
+                ("spans recorded", f"{spans}"),
+                ("makespan coverage", f"{report.coverage:.1%}"),
+                ("phase sum - total", f"{report.phase_sum() - report.total_s:+.2e} s"),
+            ],
+        )
+    )
+    chain = " -> ".join(f"{s.name}[{s.share:.0%}]" for s in report.chain)
+    print(f"blocking chain: {report.root_name} -> {chain}")

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Repo health gate: tier-1 tests, warnings-as-errors on the fault-injection,
-# scheduler, journal/recovery, and HA suites, fleet-contention / crash /
-# HA determinism gates, and a full bytecode compile of the source tree.
+# scheduler, journal/recovery, HA, and telemetry suites, fleet-contention /
+# crash / HA / trace determinism gates, and a full bytecode compile of the
+# source tree.
 #
 # Usage: sh scripts/check.sh   (from the repo root)
 set -eu
@@ -23,6 +24,9 @@ python -W error -m pytest tests/test_gear_journal.py tests/test_gear_recovery.py
 
 echo "== HA registry suites under -W error =="
 python -W error -m pytest tests/test_net_ha.py tests/test_gear_replication.py -q
+
+echo "== telemetry suites under -W error =="
+python -W error -m pytest tests/test_obs_trace.py tests/test_obs_metrics.py -q
 
 echo "== fleet-contention determinism gate =="
 # The concurrent simulation must be replayable: two identical sweeps
@@ -66,6 +70,28 @@ for ha_seed in 11 42; do
         "$fleet_tmp/ha-$ha_seed-run2.json"
 done
 echo "HA sweeps identical across runs for both seeds"
+
+echo "== trace-determinism gate =="
+# The telemetry plane must not disturb determinism, and its own exports
+# must be replayable: for each seed, two identical traced deployments
+# have to emit byte-identical Chrome-trace and metrics JSON files (and
+# exit 0, which certifies the span tree covers >= 95% of the deploy
+# makespan and the per-phase totals sum to the deploy total).
+for trace_seed in 11 42; do
+    trace_cmd="python -m repro.cli trace --series nginx --versions 1 \
+        --scale 0.2 --target nginx --seed $trace_seed --json"
+    $trace_cmd --out-dir "$fleet_tmp/trace-$trace_seed-run1" \
+        > "$fleet_tmp/trace-$trace_seed-run1.json"
+    $trace_cmd --out-dir "$fleet_tmp/trace-$trace_seed-run2" \
+        > "$fleet_tmp/trace-$trace_seed-run2.json"
+    diff "$fleet_tmp/trace-$trace_seed-run1.json" \
+        "$fleet_tmp/trace-$trace_seed-run2.json"
+    diff "$fleet_tmp/trace-$trace_seed-run1/trace.json" \
+        "$fleet_tmp/trace-$trace_seed-run2/trace.json"
+    diff "$fleet_tmp/trace-$trace_seed-run1/metrics.json" \
+        "$fleet_tmp/trace-$trace_seed-run2/metrics.json"
+done
+echo "trace exports identical across runs for both seeds"
 
 echo "== compileall src =="
 python -m compileall -q src

@@ -71,15 +71,20 @@ def deploy_with_docker(
     requests_before = link_log.total_requests
     retries_before, errors_before = _endpoint_stats(testbed, "docker-registry")
 
-    pull_timer = testbed.clock.timer()
-    report = testbed.daemon.pull(generated.reference)
-    pull_s = pull_timer.elapsed()
+    with testbed.clock.span(
+        "deploy", system="docker", ref=generated.reference
+    ):
+        pull_timer = testbed.clock.timer()
+        with testbed.clock.span("pull_image", ref=generated.reference):
+            report = testbed.daemon.pull(generated.reference)
+        pull_s = pull_timer.elapsed()
 
-    run_timer = testbed.clock.timer()
-    container = testbed.daemon.run(generated.reference)
-    task = task_for_category(generated.category)
-    task.run(testbed.clock, container.mount, generated.trace)
-    run_s = run_timer.elapsed()
+        run_timer = testbed.clock.timer()
+        container = testbed.daemon.run(generated.reference)
+        task = task_for_category(generated.category)
+        with testbed.clock.span("task", category=generated.category):
+            task.run(testbed.clock, container.mount, generated.trace)
+        run_s = run_timer.elapsed()
     if destroy:
         testbed.daemon.destroy_container(container)
     retries_after, errors_after = _endpoint_stats(testbed, "docker-registry")
@@ -121,16 +126,18 @@ def deploy_with_gear(
         testbed, "docker-registry", "gear-registry"
     )
 
-    pull_timer = testbed.clock.timer()
-    deploy_report = testbed.gear_driver.pull_index(reference)
-    pull_s = pull_timer.elapsed()
+    with testbed.clock.span("deploy", system="gear", ref=generated.reference):
+        pull_timer = testbed.clock.timer()
+        deploy_report = testbed.gear_driver.pull_index(reference)
+        pull_s = pull_timer.elapsed()
 
-    run_timer = testbed.clock.timer()
-    container = testbed.gear_driver.create_container(reference)
-    testbed.gear_driver.start_container(container)
-    task = task_for_category(generated.category)
-    task.run(testbed.clock, container.mount, generated.trace)
-    run_s = run_timer.elapsed()
+        run_timer = testbed.clock.timer()
+        container = testbed.gear_driver.create_container(reference)
+        testbed.gear_driver.start_container(container)
+        task = task_for_category(generated.category)
+        with testbed.clock.span("task", category=generated.category):
+            task.run(testbed.clock, container.mount, generated.trace)
+        run_s = run_timer.elapsed()
     stats = container.mount.fault_stats
     if destroy:
         testbed.gear_driver.destroy_container(container)
@@ -184,41 +191,44 @@ def deploy_with_gear_overlapped(
         testbed, "docker-registry", "gear-registry"
     )
 
-    pull_timer = testbed.clock.timer()
-    deploy_report = testbed.gear_driver.pull_index(reference)
-    pull_s = pull_timer.elapsed()
+    with testbed.clock.span(
+        "deploy", system="gear+overlap", ref=generated.reference
+    ):
+        pull_timer = testbed.clock.timer()
+        deploy_report = testbed.gear_driver.pull_index(reference)
+        pull_s = pull_timer.elapsed()
 
-    run_timer = testbed.clock.timer()
-    container = testbed.gear_driver.create_container(reference)
-    testbed.gear_driver.start_container(container)
-    task = task_for_category(generated.category)
-    profile = recorder.profile_for(reference)
+        run_timer = testbed.clock.timer()
+        container = testbed.gear_driver.create_container(reference)
+        testbed.gear_driver.start_container(container)
+        task = task_for_category(generated.category)
+        profile = recorder.profile_for(reference)
 
-    scheduler = testbed.clock.scheduler
-    owns_scheduler = scheduler is None
-    if owns_scheduler:
-        scheduler = SimScheduler(testbed.clock)
-    try:
-        if profile is not None:
-            testbed.gear_driver.spawn_prefetch(
-                container, profile, byte_budget=byte_budget
+        scheduler = testbed.clock.scheduler
+        owns_scheduler = scheduler is None
+        if owns_scheduler:
+            scheduler = SimScheduler(testbed.clock)
+        try:
+            if profile is not None:
+                testbed.gear_driver.spawn_prefetch(
+                    container, profile, byte_budget=byte_budget
+                )
+            startup = scheduler.spawn(
+                task.run,
+                testbed.clock,
+                container.mount,
+                generated.trace,
+                name=f"startup:{generated.reference}",
             )
-        startup = scheduler.spawn(
-            task.run,
-            testbed.clock,
-            container.mount,
-            generated.trace,
-            name=f"startup:{generated.reference}",
-        )
-        if owns_scheduler:
-            # Drain everything (prefetch tail included) so the link has
-            # no half-finished flows when the scheduler detaches.
-            scheduler.run()
-        else:
-            startup.join()
-    finally:
-        if owns_scheduler:
-            scheduler.close()
+            if owns_scheduler:
+                # Drain everything (prefetch tail included) so the link
+                # has no half-finished flows when the scheduler detaches.
+                scheduler.run()
+            else:
+                startup.join()
+        finally:
+            if owns_scheduler:
+                scheduler.close()
     # The container is "up" when its own startup task completes; a
     # prefetch tail running past that point is background warm-up.
     run_s = startup.finished_at - run_timer.start
@@ -399,14 +409,18 @@ def deploy_with_slacker(
     bytes_before = link_log.total_bytes
     requests_before = link_log.total_requests
 
-    pull_timer = testbed.clock.timer()
-    mount = driver.deploy(generated.reference)
-    pull_s = pull_timer.elapsed()
+    with testbed.clock.span(
+        "deploy", system="slacker", ref=generated.reference
+    ):
+        pull_timer = testbed.clock.timer()
+        mount = driver.deploy(generated.reference)
+        pull_s = pull_timer.elapsed()
 
-    run_timer = testbed.clock.timer()
-    task = task_for_category(generated.category)
-    task.run(testbed.clock, mount, generated.trace)
-    run_s = run_timer.elapsed()
+        run_timer = testbed.clock.timer()
+        task = task_for_category(generated.category)
+        with testbed.clock.span("task", category=generated.category):
+            task.run(testbed.clock, mount, generated.trace)
+        run_s = run_timer.elapsed()
 
     return DeploymentResult(
         system="slacker",

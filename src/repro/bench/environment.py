@@ -20,6 +20,7 @@ from repro.gear.pool import EvictionPolicy, SharedFilePool
 from repro.gear.registry import GearRegistry
 from repro.net.faults import FaultPlan, FaultyLink
 from repro.net.ha import (
+    GEAR_ENDPOINT,
     AdmissionGate,
     HAFetchPolicy,
     HATransport,
@@ -30,6 +31,8 @@ from repro.net.ha import (
 from repro.net.link import Link
 from repro.net.resilience import RetryPolicy
 from repro.net.transport import RpcTransport
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace import SpanTracer
 from repro.storage.disk import Disk, DiskProfile, HDD
 from repro.workloads.corpus import GeneratedImage
 
@@ -50,6 +53,18 @@ class Testbed:
     #: The HA transport facade when this testbed has a replicated
     #: registry tier (same object as ``transport`` then).
     ha: Optional[HATransport] = None
+    #: The unified metrics registry every stats group is registered
+    #: with; ``metrics.reset()`` is the one reset for the whole testbed.
+    metrics: Optional[MetricsRegistry] = None
+
+    def attach_tracer(self, tracer: Optional[SpanTracer] = None) -> SpanTracer:
+        """Attach (or create) a span tracer on the testbed clock."""
+        return self.clock.attach_tracer(tracer)
+
+    def reset_metrics(self) -> None:
+        """One reset for every registered counter in the testbed."""
+        if self.metrics is not None:
+            self.metrics.reset()
 
     def all_links(self) -> "list[Link]":
         """Every simulated wire in the testbed (base + replica links)."""
@@ -88,7 +103,7 @@ class Testbed:
         """
         daemon = DockerDaemon(self.clock, self.transport)
         driver = GearDriver(self.clock, daemon, self.transport)
-        return Testbed(
+        bed = Testbed(
             clock=self.clock,
             link=self.link,
             transport=self.transport,
@@ -99,7 +114,89 @@ class Testbed:
             gear_driver=driver,
             fault_plan=self.fault_plan,
             ha=self.ha,
+            metrics=self.metrics,
         )
+        # Replace-by-key: the new client's pool and journal take over the
+        # old ones' registry slots.
+        _register_client_metrics(bed)
+        return bed
+
+
+def _register_client_metrics(testbed: Testbed) -> None:
+    """(Re-)register the client-side stat groups (pool, journal, mounts).
+
+    Registration replaces by key, so a :meth:`Testbed.fresh_client` swap
+    points the registry at the new client's groups instead of leaking
+    the old ones.
+    """
+    if testbed.metrics is None:
+        return
+    testbed.metrics.register("pool", testbed.gear_driver.pool.stats)
+    testbed.metrics.register("journal", testbed.gear_driver.journal.stats)
+
+
+def _instrument(testbed: Testbed) -> MetricsRegistry:
+    """Wire every stats group in the testbed into one registry.
+
+    After this, ``testbed.metrics.reset()`` is the single reset covering
+    RPC endpoints, replica/HA policy counters, fault injectors, retry
+    spend, the shared pool, and the journal — the drift-proof
+    replacement for scattered per-object ``reset_stats`` calls.
+    """
+    registry = MetricsRegistry()
+    testbed.metrics = registry
+    ha = testbed.ha
+    if ha is None:
+        for name in ("docker-registry", "gear-registry"):
+            if testbed.transport.has_endpoint(name):
+                registry.register(
+                    "rpc", testbed.transport.endpoint(name).stats, endpoint=name
+                )
+        base_transport = testbed.transport
+    else:
+        base_transport = ha.base
+        registry.register(
+            "rpc",
+            ha.base.endpoint("docker-registry").stats,
+            endpoint="docker-registry",
+        )
+        for replica in ha.replica_set.replicas:
+            registry.register(
+                "rpc",
+                replica.transport.endpoint(GEAR_ENDPOINT).stats,
+                endpoint=GEAR_ENDPOINT,
+                replica=replica.name,
+            )
+            registry.register("replica", replica.stats, replica=replica.name)
+        registry.register("ha", ha.policy.stats)
+        # Breaker trips are derived state owned by the breakers'
+        # lifecycle, not the measurement epoch: snapshot-only callback.
+        registry.register_callback(
+            "breaker",
+            lambda rs=ha.replica_set: {"trips": rs.breaker_trips},
+        )
+        ha_retry = ha.policy.retry_policy
+        if ha_retry is not None:
+            registry.register_callback(
+                "retry",
+                ha_retry.metrics,
+                reset=ha_retry.reset_spent,
+                scope="ha",
+            )
+    for index, link in enumerate(testbed.all_links()):
+        if isinstance(link, FaultyLink):
+            scope = "base" if index == 0 else f"replica-{index - 1}"
+            registry.register("link_faults", link.fault_stats, scope=scope)
+    base_retry = base_transport.retry_policy
+    if base_retry is not None:
+        registry.register_callback(
+            "retry",
+            base_retry.metrics,
+            reset=base_retry.reset_spent,
+            scope="base",
+        )
+    _register_client_metrics(testbed)
+    return registry
 
 
 def make_testbed(
@@ -139,7 +236,7 @@ def make_testbed(
     daemon = DockerDaemon(clock, transport, disk=Disk(clock, client_disk))
     pool = SharedFilePool(capacity_bytes=pool_capacity_bytes, policy=pool_policy)
     gear_driver = GearDriver(clock, daemon, transport, pool=pool)
-    return Testbed(
+    testbed = Testbed(
         clock=clock,
         link=link,
         transport=transport,
@@ -150,6 +247,8 @@ def make_testbed(
         gear_driver=gear_driver,
         fault_plan=fault_plan,
     )
+    _instrument(testbed)
+    return testbed
 
 
 def make_ha_testbed(
@@ -240,7 +339,7 @@ def make_ha_testbed(
     daemon = DockerDaemon(clock, ha, disk=Disk(clock, client_disk))
     pool = SharedFilePool(capacity_bytes=pool_capacity_bytes, policy=pool_policy)
     gear_driver = GearDriver(clock, daemon, ha, pool=pool)
-    return Testbed(
+    testbed = Testbed(
         clock=clock,
         link=base_link,
         transport=ha,
@@ -252,6 +351,8 @@ def make_ha_testbed(
         fault_plan=fault_plan,
         ha=ha,
     )
+    _instrument(testbed)
+    return testbed
 
 
 def publish_images(

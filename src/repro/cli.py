@@ -14,6 +14,9 @@ Commands:
   against a replicated Gear registry tier under healthy / outage /
   brownout / byzantine / overload scenarios and the report carries
   failover, hedging, and load-shedding accounting;
+* ``trace``    — telemetry run: deploy under Gear with the span tracer
+  attached, print the critical-path phase table, and export a Chrome
+  ``trace_event`` JSON (Perfetto-loadable) plus a flat metrics dump;
 * ``catalog``  — list the Table I series catalog.
 
 All commands run entirely in-process on the simulated testbed; sizes and
@@ -24,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import sys
 from typing import List, Optional
 
@@ -47,6 +51,13 @@ from repro.net.faults import (
     byzantine_plan,
 )
 from repro.net.topology import Cluster, HACluster
+from repro.obs import (
+    critical_path,
+    dump_json,
+    format_report,
+    metrics_snapshot,
+    trace_json,
+)
 from repro.workloads.corpus import CorpusBuilder, CorpusConfig
 from repro.workloads.series import SERIES
 
@@ -439,6 +450,128 @@ def cmd_ha(args) -> int:
     return 0 if ok else 1
 
 
+#: Coverage floor for the single-deploy trace gate: the span tree must
+#: account for at least this fraction of the deploy makespan.
+TRACE_COVERAGE_FLOOR = 0.95
+#: Float tolerance when checking phase totals against the deploy total.
+TRACE_SUM_TOLERANCE = 1e-6
+
+
+def cmd_trace(args) -> int:
+    """Telemetry run: trace a Gear deployment and analyse its makespan.
+
+    Single-client mode (the default) deploys one image with the span
+    tracer attached and gates on instrumentation quality: the span tree
+    must cover >= 95% of the deploy makespan and the per-phase exclusive
+    times must sum to the deploy total within float tolerance (exit 1
+    otherwise).  ``--clients N`` runs a concurrent fleet wave instead;
+    the client spans live on spawned tracks there, so the wave root's
+    attribution is reported but not gated.
+
+    ``--out-dir`` writes ``trace.json`` (Chrome ``trace_event``, loads
+    in Perfetto / chrome://tracing) and ``metrics.json`` (the flat
+    registry snapshot).  Both files are canonical JSON: two runs with
+    the same seed are byte-identical (the `scripts/check.sh`
+    trace-determinism gate diffs them).
+    """
+    corpus = _corpus(args, series=(args.target,))
+    generated = corpus.by_series[args.target][0]
+    wave_mode = args.clients > 1
+    if wave_mode:
+        cluster = Cluster(args.clients, bandwidth_mbps=args.bandwidth)
+        testbed = cluster.registry_testbed
+        publish_images(testbed, [generated], convert=True)
+        tracer = testbed.attach_tracer()
+        concurrency = args.concurrency or args.clients
+        cluster.deploy_wave(
+            lambda node: deploy_with_gear(node.testbed, generated),
+            concurrency=concurrency,
+        )
+        root = "wave"
+        deploy_total_s = None
+    else:
+        testbed = make_testbed(bandwidth_mbps=args.bandwidth)
+        publish_images(testbed, [generated], convert=True)
+        tracer = testbed.attach_tracer()
+        result = deploy_with_gear(testbed, generated)
+        root = "deploy"
+        deploy_total_s = result.total_s
+
+    path = critical_path(tracer, root=root)
+    if path is None:
+        print(f"trace: no finished {root!r} span recorded", file=sys.stderr)
+        return 1
+
+    ok = True
+    problems = []
+    if not wave_mode:
+        if path.coverage < TRACE_COVERAGE_FLOOR:
+            ok = False
+            problems.append(
+                f"coverage {path.coverage:.3f} < {TRACE_COVERAGE_FLOOR}"
+            )
+        if abs(path.phase_sum() - path.total_s) > TRACE_SUM_TOLERANCE:
+            ok = False
+            problems.append(
+                f"phase sum {path.phase_sum():.9f} != total {path.total_s:.9f}"
+            )
+        if (
+            deploy_total_s is not None
+            and abs(path.total_s - deploy_total_s) > TRACE_SUM_TOLERANCE
+        ):
+            ok = False
+            problems.append(
+                f"span total {path.total_s:.9f} != "
+                f"deploy total {deploy_total_s:.9f}"
+            )
+
+    written = {}
+    if args.out_dir:
+        os.makedirs(args.out_dir, exist_ok=True)
+        trace_path = os.path.join(args.out_dir, "trace.json")
+        with open(trace_path, "w") as handle:
+            handle.write(trace_json(tracer))
+        written["trace"] = trace_path
+        if testbed.metrics is not None:
+            metrics_path = os.path.join(args.out_dir, "metrics.json")
+            with open(metrics_path, "w") as handle:
+                handle.write(dump_json(metrics_snapshot(testbed.metrics)))
+            written["metrics"] = metrics_path
+
+    if args.json:
+        report = {
+            "target": generated.reference,
+            "bandwidth_mbps": args.bandwidth,
+            "mode": "wave" if wave_mode else "single",
+            "root": path.root_name,
+            "total_s": path.total_s,
+            "coverage": path.coverage,
+            "phases": path.phases,
+            "phase_counts": path.phase_counts,
+            "phase_sum_s": path.phase_sum(),
+            "concurrent_s": path.concurrent_s,
+            "chain": [
+                {"name": s.name, "duration_s": s.duration_s, "share": s.share}
+                for s in path.chain
+            ],
+            "spans": len(tracer.finished_spans()),
+            "ok": ok,
+        }
+        print(json.dumps(report, sort_keys=True))
+    else:
+        print(
+            f"traced gear deploy of {generated.reference} "
+            f"@ {args.bandwidth:g} Mbps "
+            f"({len(tracer.finished_spans())} spans)"
+        )
+        print(format_report(path))
+        for key, dest in written.items():
+            print(f"wrote {key}: {dest}")
+        for problem in problems:
+            print(f"trace gate FAILED: {problem}", file=sys.stderr)
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (shared options on every command)."""
     common = argparse.ArgumentParser(add_help=False)
@@ -545,6 +678,22 @@ def build_parser() -> argparse.ArgumentParser:
                          "backoff, and fault streams")
     ha.add_argument("--json", action="store_true",
                     help="emit the sweep report as one JSON line")
+    trace = sub.add_parser(
+        "trace", parents=[common],
+        help="trace a Gear deployment; critical path + Chrome trace export",
+    )
+    trace.add_argument("--target", default="nginx")
+    trace.add_argument("--bandwidth", type=float, default=100.0)
+    trace.add_argument("--clients", type=int, default=1,
+                       help="fleet wave mode when > 1 (roots at 'wave')")
+    trace.add_argument("--concurrency", type=int, default=0,
+                       help="clients deploying simultaneously per wave "
+                            "(default: all of them)")
+    trace.add_argument("--out-dir", default=None,
+                       help="write trace.json + metrics.json here "
+                            "(trace.json loads in Perfetto)")
+    trace.add_argument("--json", action="store_true",
+                       help="emit the critical-path report as one JSON line")
     return parser
 
 
@@ -565,6 +714,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_crash(args)
     if args.command == "ha":
         return cmd_ha(args)
+    if args.command == "trace":
+        return cmd_trace(args)
     raise AssertionError("unreachable")
 
 

@@ -44,8 +44,35 @@ class SchedulerError(RuntimeError):
     """The scheduler was asked for something impossible (deadlock, reuse)."""
 
 
+class _NullSpan:
+    """The span returned when no tracer is attached: every op is a no-op.
+
+    A single shared instance makes ``clock.span(...)`` in hot paths cost
+    one attribute check and no allocation when telemetry is detached —
+    the property that lets instrumentation stay always-on in the code.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+    def annotate(self, **labels: Any) -> "_NullSpan":
+        return self
+
+    def __repr__(self) -> str:
+        return "NULL_SPAN"
+
+
+#: Shared no-op span/instant, handed out whenever telemetry is detached.
+NULL_SPAN = _NullSpan()
+
+
 class SimClock:
-    """A monotonically advancing virtual clock with optional event trace.
+    """A monotonically advancing virtual clock with optional telemetry.
 
     Without an attached :class:`SimScheduler` the clock is deliberately
     simple: the simulation is sequential (one client deploying containers
@@ -53,15 +80,23 @@ class SimClock:
     clock by the time its operation takes.  With a scheduler attached,
     ``advance`` calls made from within a simulated process suspend that
     process instead, letting other processes run in the meantime.
+
+    Telemetry is an attached :class:`repro.obs.trace.SpanTracer`
+    (``attach_tracer``, or ``trace=True`` for the legacy flag): every
+    ``span``/``instant`` call lands there, and the legacy ``trace``
+    property reads the tracer's instants back as ``(time, label)``
+    tuples.  With no tracer attached the same calls return a shared
+    null span — zero allocation, zero virtual-time cost.
     """
 
-    __slots__ = ("_now", "_trace", "_tracing", "_scheduler")
+    __slots__ = ("_now", "_scheduler", "_tracer")
 
     def __init__(self, *, trace: bool = False) -> None:
         self._now: float = 0.0
-        self._tracing = trace
-        self._trace: List[Tuple[float, str]] = []
         self._scheduler: Optional["SimScheduler"] = None
+        self._tracer: Optional[Any] = None
+        if trace:
+            self.attach_tracer()
 
     @property
     def now(self) -> float:
@@ -72,6 +107,43 @@ class SimClock:
     def scheduler(self) -> Optional["SimScheduler"]:
         """The attached discrete-event scheduler (None in sequential mode)."""
         return self._scheduler
+
+    # -- telemetry ---------------------------------------------------------
+
+    @property
+    def tracer(self) -> Optional[Any]:
+        """The attached span tracer (None when telemetry is detached)."""
+        return self._tracer
+
+    def attach_tracer(self, tracer: Optional[Any] = None) -> Any:
+        """Attach (or create and attach) a span tracer; returns it."""
+        if tracer is None:
+            from repro.obs.trace import SpanTracer
+
+            tracer = SpanTracer(self)
+        self._tracer = tracer
+        return tracer
+
+    def detach_tracer(self) -> Optional[Any]:
+        """Detach and return the current tracer (telemetry goes free)."""
+        tracer, self._tracer = self._tracer, None
+        return tracer
+
+    def span(self, name: str, **labels: Any) -> Any:
+        """A context manager recording a virtual-time span.
+
+        Free (a shared null object) when no tracer is attached, so call
+        sites never need to guard on telemetry being enabled.
+        """
+        if self._tracer is None:
+            return NULL_SPAN
+        return self._tracer.span(name, **labels)
+
+    def instant(self, name: str, **labels: Any) -> Any:
+        """Record a point event at the current time (no-op untraced)."""
+        if self._tracer is None:
+            return NULL_SPAN
+        return self._tracer.instant(name, **labels)
 
     def advance(self, seconds: float, label: str = "") -> float:
         """Advance the clock by ``seconds`` and return the new time.
@@ -89,14 +161,14 @@ class SimClock:
             if process is not None:
                 return scheduler._process_sleep(process, seconds, label)
         self._now += seconds
-        if self._tracing and label:
-            self._trace.append((self._now, label))
+        if self._tracer is not None and label:
+            self._tracer.instant(label)
         return self._now
 
     def note(self, label: str) -> None:
         """Record a trace event at the current time (when tracing)."""
-        if self._tracing and label:
-            self._trace.append((self._now, label))
+        if self._tracer is not None and label:
+            self._tracer.instant(label)
 
     def _jump_to(self, timestamp: float) -> None:
         """Scheduler hook: set ``now`` to an event's timestamp."""
@@ -109,12 +181,15 @@ class SimClock:
     def reset(self) -> None:
         """Reset virtual time to zero and clear any trace."""
         self._now = 0.0
-        self._trace.clear()
+        if self._tracer is not None:
+            self._tracer.clear()
 
     @property
     def trace(self) -> List[Tuple[float, str]]:
         """Recorded ``(timestamp, label)`` events (only when tracing)."""
-        return list(self._trace)
+        if self._tracer is None:
+            return []
+        return self._tracer.compat_trace()
 
     def timer(self) -> "Stopwatch":
         """Return a stopwatch anchored at the current virtual time."""
@@ -347,6 +422,11 @@ class SimScheduler:
             raise SchedulerError("scheduler is closed")
         process = Process(self, name or f"proc-{len(self._processes)}")
         self._processes.append(process)
+        tracer = self.clock._tracer
+        if tracer is not None:
+            # Still on the spawner's thread: the spawner's innermost open
+            # span becomes the new process track's base parent.
+            tracer.on_spawn(process)
         generator = None
         if hasattr(target, "send") and hasattr(target, "throw"):
             generator = target

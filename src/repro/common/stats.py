@@ -7,15 +7,15 @@ must agree on the semantics for tiny samples (n = 1, 2) or a hedge
 deadline derived from one observation would disagree with the p99 the
 report prints for the same data.  Keeping one helper keeps them honest.
 
-:func:`reset_counter_fields` is the reflection-based reset used by every
-stats dataclass (RPC, fault, viewer, HA).  Resetting by enumerating
-fields means a newly added counter can never be silently left out of a
-``reset_stats()`` path — the failure mode PR 1's hand-written resets had.
+Counter resets live elsewhere now: every stats dataclass subclasses
+:class:`repro.obs.metrics.MetricSet`, whose ``reset()`` rebuilds a
+pristine instance — no per-field reflection to drift out of date — and
+registers with the :class:`repro.obs.metrics.MetricsRegistry` so one
+registry ``reset()`` covers the whole system.
 """
 
 from __future__ import annotations
 
-import dataclasses
 import math
 from typing import List, Tuple
 
@@ -36,27 +36,3 @@ def percentile(values: "List[float] | Tuple[float, ...]", q: float) -> float:
     ordered = sorted(values)
     rank = max(1, math.ceil(q / 100.0 * len(ordered)))
     return ordered[min(rank, len(ordered)) - 1]
-
-
-def reset_counter_fields(stats: object) -> None:
-    """Reset every dataclass field of ``stats`` to its declared default.
-
-    Only fields with a plain default are touched (counters default to
-    ``0``/``0.0``/``False``/``""``); fields built by a default factory
-    are reset by calling it.  Raises ``TypeError`` on non-dataclasses so
-    a refactor away from dataclasses cannot silently turn resets into
-    no-ops.
-    """
-    if not dataclasses.is_dataclass(stats) or isinstance(stats, type):
-        raise TypeError(f"expected a stats dataclass instance, got {stats!r}")
-    for field in dataclasses.fields(stats):
-        if field.default is not dataclasses.MISSING:
-            setattr(stats, field.name, field.default)
-        elif field.default_factory is not dataclasses.MISSING:  # type: ignore[misc]
-            setattr(stats, field.name, field.default_factory())  # type: ignore[misc]
-        else:
-            raise TypeError(
-                f"stats field {field.name!r} on {type(stats).__name__} has "
-                f"no default; every counter needs one so reset_stats() can "
-                f"restore it"
-            )

@@ -156,15 +156,17 @@ class GearDriver:
             self._reports[reference] = report
             return report
         timer = self.clock.timer()
-        pull = self.daemon.pull(reference)
-        image = self.daemon.get_image(reference)
-        if not image.gear_index:
-            raise GearError(
-                f"{reference!r} is a regular image; use the Docker daemon "
-                f"to deploy it, or convert it to a Gear image first"
-            )
-        index = GearIndex.from_image(image)
-        self._indexes[reference] = index
+        with self.clock.span("pull_index", ref=reference) as span:
+            pull = self.daemon.pull(reference)
+            image = self.daemon.get_image(reference)
+            if not image.gear_index:
+                raise GearError(
+                    f"{reference!r} is a regular image; use the Docker daemon "
+                    f"to deploy it, or convert it to a Gear image first"
+                )
+            index = GearIndex.from_image(image)
+            self._indexes[reference] = index
+            span.annotate(bytes=pull.bytes_downloaded)
         report.pull_s = timer.elapsed()
         report.index_bytes = pull.bytes_downloaded
         self._reports[reference] = report
@@ -315,7 +317,11 @@ class GearDriver:
         return f"{name[: -len(_GEAR_SUFFIX)]}:{tag}"
 
     def start_container(self, container: GearContainer) -> None:
-        self.clock.advance(CONTAINER_START_COST_S, f"start:{container.id}")
+        # The label carries no container id: ids come from a global
+        # counter, and id-bearing labels would break byte-identical
+        # double runs (the trace-determinism gate).
+        with self.clock.span("start", ref=container.index.reference):
+            self.clock.advance(CONTAINER_START_COST_S, "container-start")
         container.start()
 
     def deploy(
@@ -367,7 +373,7 @@ class GearDriver:
             replay_profile,
             container.mount,
             profile,
-            name=f"prefetch:{container.id}",
+            name=f"prefetch:{container.index.reference}",
         )
 
     def destroy_container(self, container: GearContainer) -> float:
@@ -382,7 +388,7 @@ class GearDriver:
             CONTAINER_DESTROY_BASE_S
             + container.mount.stats.inodes_touched * INODE_TEARDOWN_COST_S
         )
-        self.clock.advance(teardown, f"destroy:{container.id}")
+        self.clock.advance(teardown, "container-destroy")
         container.state = ContainerState.DELETED
         self._containers.pop(container.id, None)
         return teardown

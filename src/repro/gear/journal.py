@@ -30,6 +30,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Set, Tuple
 
 from repro.common.clock import SimClock
+from repro.obs.metrics import MetricSet
 
 #: Record type tags (the ``op`` field of a :class:`JournalRecord`).
 FETCH_BEGIN = "fetch-begin"
@@ -50,6 +51,16 @@ class JournalRecord:
     path: Optional[str] = None
     #: Index reference the link belongs to (link records only).
     reference: Optional[str] = None
+
+
+@dataclass
+class JournalStats(MetricSet):
+    """Journal write accounting (registrable with the metrics registry)."""
+
+    #: Total records ever appended (survives compaction).
+    appends: int = 0
+    #: Completed compaction passes.
+    compactions: int = 0
 
 
 @dataclass
@@ -80,11 +91,18 @@ class IntentJournal:
     def __init__(self, clock: Optional[SimClock] = None) -> None:
         self.clock = clock
         self.records: List[JournalRecord] = []
-        #: Total records ever appended (survives :meth:`compact`).
-        self.appended = 0
-        #: Completed compaction passes.
-        self.compactions = 0
+        self.stats = JournalStats()
         self._seq = 0
+
+    @property
+    def appended(self) -> int:
+        """Total records ever appended (survives :meth:`compact`)."""
+        return self.stats.appends
+
+    @property
+    def compactions(self) -> int:
+        """Completed compaction passes."""
+        return self.stats.compactions
 
     # -- appends -----------------------------------------------------------
 
@@ -104,7 +122,7 @@ class IntentJournal:
             reference=reference,
         )
         self._seq += 1
-        self.appended += 1
+        self.stats.appends += 1
         self.records.append(record)
         return record
 
@@ -164,7 +182,7 @@ class IntentJournal:
         """
         dropped = len(self.records)
         self.records.clear()
-        self.compactions += 1
+        self.stats.compactions += 1
         return dropped
 
     def __len__(self) -> int:

@@ -16,11 +16,13 @@ from __future__ import annotations
 
 import enum
 from collections import OrderedDict
+from dataclasses import dataclass
 from typing import Dict, Iterator, Optional, Set
 
 from repro.common.clock import SimEvent
 from repro.common.errors import IntegrityError, StorageError
 from repro.gear.gearfile import GearFile
+from repro.obs.metrics import MetricSet
 from repro.vfs.inode import FileKind, Inode, Metadata
 
 
@@ -29,6 +31,22 @@ class EvictionPolicy(enum.Enum):
 
     FIFO = "fifo"
     LRU = "lru"
+
+
+@dataclass
+class PoolStats(MetricSet):
+    """Cache accounting, registrable with the metrics registry.
+
+    The pool's historical ``pool.hits`` / ``pool.misses`` / … attributes
+    remain as delegating properties, so call sites and reports read the
+    same numbers wherever they look.
+    """
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    eviction_failures: int = 0
+    quarantines: int = 0
 
 
 class SharedFilePool:
@@ -52,11 +70,7 @@ class SharedFilePool:
         #: Staged entries never serve :meth:`get`, never count against
         #: capacity, and are exactly what a crash leaves torn.
         self._staged: "OrderedDict[str, Inode]" = OrderedDict()
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.eviction_failures = 0
-        self.quarantines = 0
+        self.stats = PoolStats()
         #: Identities whose last download failed verification; cleared
         #: when a verified copy finally lands.
         self._quarantined: Set[str] = set()
@@ -66,6 +80,48 @@ class SharedFilePool:
         #: startup task) wait for the first fetch instead of duplicating
         #: the download.
         self.inflight: Dict[str, "SimEvent"] = {}
+
+    # -- counters (delegate to the registrable stats group) -----------------
+
+    @property
+    def hits(self) -> int:
+        return self.stats.hits
+
+    @hits.setter
+    def hits(self, value: int) -> None:
+        self.stats.hits = value
+
+    @property
+    def misses(self) -> int:
+        return self.stats.misses
+
+    @misses.setter
+    def misses(self, value: int) -> None:
+        self.stats.misses = value
+
+    @property
+    def evictions(self) -> int:
+        return self.stats.evictions
+
+    @evictions.setter
+    def evictions(self, value: int) -> None:
+        self.stats.evictions = value
+
+    @property
+    def eviction_failures(self) -> int:
+        return self.stats.eviction_failures
+
+    @eviction_failures.setter
+    def eviction_failures(self, value: int) -> None:
+        self.stats.eviction_failures = value
+
+    @property
+    def quarantines(self) -> int:
+        return self.stats.quarantines
+
+    @quarantines.setter
+    def quarantines(self, value: int) -> None:
+        self.stats.quarantines = value
 
     # -- lookup ------------------------------------------------------------
 
@@ -241,11 +297,7 @@ class SharedFilePool:
 
     def reset_stats(self) -> None:
         """Zero every counter, including quarantine/eviction-failure ones."""
-        self.hits = 0
-        self.misses = 0
-        self.evictions = 0
-        self.eviction_failures = 0
-        self.quarantines = 0
+        self.stats.reset()
 
     @property
     def used_bytes(self) -> int:

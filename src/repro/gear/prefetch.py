@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.common.clock import NULL_SPAN
 from repro.gear.viewer import GearFileViewer
 
 
@@ -105,15 +106,24 @@ def replay_profile(
     for in-flight downloads rather than duplicating them.
     """
     report = PrefetchReport(reference=profile.reference)
-    for path, size in profile.entries:
-        if not viewer.exists(path):
-            continue
-        hits_before = viewer.fault_stats.cache_hits
-        viewer.prefetch(path)
-        report.files_prefetched += 1
-        report.bytes_prefetched += size
-        if viewer.fault_stats.cache_hits > hits_before:
-            report.cache_hits += 1
+    span = (
+        viewer.clock.span("prefetch", ref=profile.reference)
+        if viewer.clock is not None
+        else NULL_SPAN
+    )
+    with span as s:
+        for path, size in profile.entries:
+            if not viewer.exists(path):
+                continue
+            hits_before = viewer.fault_stats.cache_hits
+            viewer.prefetch(path)
+            report.files_prefetched += 1
+            report.bytes_prefetched += size
+            if viewer.fault_stats.cache_hits > hits_before:
+                report.cache_hits += 1
+        s.annotate(
+            files=report.files_prefetched, bytes=report.bytes_prefetched
+        )
     return report
 
 

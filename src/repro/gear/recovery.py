@@ -138,6 +138,8 @@ def fsck(
     report = RecoveryReport()
     indexes = list(indexes)
     start_s = clock.now if clock is not None else 0.0
+    tracer = clock.tracer if clock is not None else None
+    fsck_span = tracer.begin("fsck") if tracer is not None else None
 
     state = journal.replay()
     report.journal_records = len(journal)
@@ -237,4 +239,6 @@ def fsck(
     report.compacted_records = journal.compact()
     if clock is not None:
         report.fsck_s = clock.now - start_s
+    if fsck_span is not None:
+        tracer.end(fsck_span.annotate(verify_bytes=report.verify_bytes))
     return report

@@ -25,7 +25,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional, Sequence
 
 from repro.blob import Blob
-from repro.common.clock import SimEvent
+from repro.common.clock import NULL_SPAN, SimClock, SimEvent
 from repro.common.errors import (
     GearError,
     IntegrityError,
@@ -41,6 +41,7 @@ from repro.gear.pool import SharedFilePool
 from repro.gear.registry import GearRegistry
 from repro.net.faults import CrashInjector, CrashPoint
 from repro.net.transport import RpcTransport
+from repro.obs.metrics import MetricSet
 from repro.storage.disk import Disk
 from repro.vfs.inode import Inode
 from repro.vfs.overlay import OverlayMount
@@ -52,7 +53,7 @@ FallbackFetcher = Callable[[GearFileEntry], Optional[GearFile]]
 
 
 @dataclass
-class FaultStats:
+class FaultStats(MetricSet):
     """What lazy retrieval did for one mount."""
 
     faults: int = 0
@@ -106,6 +107,18 @@ class GearFileViewer(OverlayMount):
             else self.INTEGRITY_REFETCH_LIMIT
         )
         self.fault_stats = FaultStats()
+        #: The clock fault spans are recorded on (offline mounts — no
+        #: transport, no disk — have none and trace nothing).
+        self.clock: Optional[SimClock] = (
+            transport.link.clock
+            if transport is not None
+            else (disk.clock if disk is not None else None)
+        )
+
+    def _span(self, name: str, **labels):
+        if self.clock is None:
+            return NULL_SPAN
+        return self.clock.span(name, **labels)
 
     # -- the fault path ----------------------------------------------------
 
@@ -124,26 +137,36 @@ class GearFileViewer(OverlayMount):
             # for its fetch to land rather than duplicating the bytes.
             inflight = self.pool.inflight.get(entry.identity)
             if inflight is not None:
-                inflight.wait()
+                with self._span("fetch_wait", fp=entry.identity[:12]):
+                    inflight.wait()
                 inode = self.pool.get(entry.identity)
         if inode is not None:
             self.fault_stats.cache_hits += 1
+            if self.clock is not None:
+                self.clock.instant("cache_hit", fp=entry.identity[:12])
         else:
-            inode = self._fault_in(entry)
+            with self._span("fetch_file", fp=entry.identity[:12]) as span:
+                inode = self._fault_in(entry)
+                span.annotate(bytes=inode.size)
         # Hard-link the real file over the stub so the index serves it
         # directly from now on.  Two-phase: the link intent is journaled
         # before the physical link, the commit record after — a crash
         # between the halves leaves a classifiable open-link record.
-        if self.journal is not None:
-            self.journal.link_begin(entry.identity, path, self.index.reference)
-        inode.meta.mode = entry.mode
-        self.index.tree.link_inode(path, inode, replace=True)
-        self._crash_checkpoint(CrashPoint.MID_LINK)
-        if self.disk is not None:
-            self.disk.metadata_op(1, label="index-link")
-        self.fault_stats.linked_bytes += inode.size
-        if self.journal is not None:
-            self.journal.link_commit(entry.identity, path, self.index.reference)
+        with self._span("link", fp=entry.identity[:12]):
+            if self.journal is not None:
+                self.journal.link_begin(
+                    entry.identity, path, self.index.reference
+                )
+            inode.meta.mode = entry.mode
+            self.index.tree.link_inode(path, inode, replace=True)
+            self._crash_checkpoint(CrashPoint.MID_LINK)
+            if self.disk is not None:
+                self.disk.metadata_op(1, label="index-link")
+            self.fault_stats.linked_bytes += inode.size
+            if self.journal is not None:
+                self.journal.link_commit(
+                    entry.identity, path, self.index.reference
+                )
         return inode
 
     def _fault_in(self, entry: GearFileEntry) -> Inode:

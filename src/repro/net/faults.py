@@ -32,6 +32,7 @@ from repro.common.clock import SimClock
 from repro.common.errors import ClientCrash, TimeoutError, UnavailableError
 from repro.common.rng import rng_for
 from repro.net.link import Link
+from repro.obs.metrics import MetricSet
 
 
 @dataclass(frozen=True)
@@ -156,7 +157,7 @@ class FaultPlan:
 
 
 @dataclass
-class LinkFaultStats:
+class LinkFaultStats(MetricSet):
     """What the fault injector actually did."""
 
     drops: int = 0
@@ -169,11 +170,6 @@ class LinkFaultStats:
     @property
     def total_faults(self) -> int:
         return self.drops + self.corruptions + self.outage_rejections
-
-    def reset(self) -> None:
-        from repro.common.stats import reset_counter_fields
-
-        reset_counter_fields(self)
 
 
 class FaultyLink(Link):

@@ -53,7 +53,8 @@ from repro.common.errors import (
     UnavailableError,
 )
 from repro.common.rng import rng_for
-from repro.common.stats import percentile, reset_counter_fields
+from repro.common.stats import percentile
+from repro.obs.metrics import MetricSet
 from repro.net.link import Link
 from repro.net.resilience import RETRYABLE_ERRORS, RetryPolicy
 from repro.net.transport import RpcEndpoint, RpcStats, RpcTransport
@@ -210,7 +211,7 @@ class AdmissionGate:
 
 
 @dataclass
-class ReplicaStats:
+class ReplicaStats(MetricSet):
     """Per-replica serving accounting."""
 
     serves: int = 0
@@ -219,12 +220,9 @@ class ReplicaStats:
     probes: int = 0
     probe_failures: int = 0
 
-    def reset(self) -> None:
-        reset_counter_fields(self)
-
 
 @dataclass
-class HAStats:
+class HAStats(MetricSet):
     """Client-side HA policy accounting (fleet-wide, shared by clients)."""
 
     fetches: int = 0
@@ -243,13 +241,8 @@ class HAStats:
     breaker_skips: int = 0
     demotions: int = 0
 
-    def reset(self) -> None:
-        reset_counter_fields(self)
-
     def as_dict(self) -> Dict[str, int]:
-        import dataclasses
-
-        return {f.name: getattr(self, f.name) for f in dataclasses.fields(self)}
+        return dict(self.metrics())
 
 
 # ---------------------------------------------------------------------------
@@ -942,10 +935,11 @@ class HAFetchPolicy:
         def attempt(replica: Replica) -> None:
             proc = scheduler._running_process()
             try:
-                value = self._single_fetch(
-                    replica, method, args, kwargs,
-                    request_payload_bytes, label, observe=True,
-                )
+                with self.clock.span("hedge_attempt", replica=replica.name):
+                    value = self._single_fetch(
+                        replica, method, args, kwargs,
+                        request_payload_bytes, label, observe=True,
+                    )
             except FetchCancelledError as error:
                 # The initiator cancelled this loser; only the bytes its
                 # flow actually moved were wasted.  Not a failover — the
@@ -969,38 +963,42 @@ class HAFetchPolicy:
                 replica.link.clear_cancel(proc)
             race.report_success(replica, value)
 
-        race.launched = 1
-        procs[primary.name] = scheduler.spawn(
-            attempt, primary, name=f"hedge0:{tag}"
-        )
-        deadline = self.estimator.deadline_s(
-            self._nominal_fetch_s(primary, method, args)
-        )
-
-        def fire_hedge() -> None:
-            if race.decided or procs[primary.name].done:
-                return
-            self.stats.hedges += 1
-            race.launched += 1
-            procs[mate.name] = scheduler.spawn(
-                attempt, mate, name=f"hedge1:{tag}"
+        with self.clock.span("hedge", tag=tag) as hedge_span:
+            race.launched = 1
+            procs[primary.name] = scheduler.spawn(
+                attempt, primary, name=f"hedge0:{tag}"
+            )
+            deadline = self.estimator.deadline_s(
+                self._nominal_fetch_s(primary, method, args)
             )
 
-        timer = scheduler.schedule(deadline, fire_hedge)
-        race.event.wait()
-        timer.cancel()
-        if race.winner is not None:
-            if race.winner is mate:
-                self.stats.hedge_wins += 1
-            loser = mate if race.winner is primary else primary
-            loser_proc = procs.get(loser.name)
-            if loser_proc is not None and not loser_proc.done:
-                self.stats.cancels += 1
-                loser.link.cancel_flows(loser_proc)
-            return race.value
-        if race.last_error is not None:
-            raise race.last_error
-        raise UnavailableError(f"hedged fetch {tag!r} failed on both replicas")
+            def fire_hedge() -> None:
+                if race.decided or procs[primary.name].done:
+                    return
+                self.stats.hedges += 1
+                race.launched += 1
+                procs[mate.name] = scheduler.spawn(
+                    attempt, mate, name=f"hedge1:{tag}"
+                )
+
+            timer = scheduler.schedule(deadline, fire_hedge)
+            race.event.wait()
+            timer.cancel()
+            if race.winner is not None:
+                hedge_span.annotate(winner=race.winner.name)
+                if race.winner is mate:
+                    self.stats.hedge_wins += 1
+                loser = mate if race.winner is primary else primary
+                loser_proc = procs.get(loser.name)
+                if loser_proc is not None and not loser_proc.done:
+                    self.stats.cancels += 1
+                    loser.link.cancel_flows(loser_proc)
+                return race.value
+            if race.last_error is not None:
+                raise race.last_error
+            raise UnavailableError(
+                f"hedged fetch {tag!r} failed on both replicas"
+            )
 
 
 # ---------------------------------------------------------------------------

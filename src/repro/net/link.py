@@ -242,7 +242,7 @@ class Link:
         scheduler._suspend(process)
         elapsed = self.clock.now - start
         if flow.cancelled:
-            self.clock.note(f"cancelled:{label or payload_bytes}")
+            self.clock.instant(f"cancelled:{label or payload_bytes}")
             self.log.append(
                 TransferRecord(
                     start=start,
@@ -256,7 +256,7 @@ class Link:
                 bytes_transferred=flow.partial_bytes,
             )
         duration = flow.nominal_s if not flow.contended else elapsed
-        self.clock.note(label or f"transfer:{payload_bytes}B")
+        self.clock.instant(label or f"transfer:{payload_bytes}B")
         self.log.append(
             TransferRecord(
                 start=start,

@@ -106,6 +106,14 @@ class RetryPolicy:
     def charge(self, backoff_s: float) -> None:
         self.spent_s += backoff_s
 
+    def reset_spent(self) -> None:
+        """Return the backoff budget to untouched (new measurement epoch)."""
+        self.spent_s = 0.0
+
+    def metrics(self) -> "dict[str, float]":
+        """Registry-callback view of the policy's running spend."""
+        return {"spent_s": self.spent_s}
+
     @property
     def budget_remaining_s(self) -> Optional[float]:
         if self.budget_s is None:

@@ -193,14 +193,16 @@ class Cluster:
 
         def client(node: ClientNode) -> None:
             begun = clock.now
-            action(node)
+            with clock.span("client_deploy", node=node.name):
+                action(node)
             latencies[node.name] = clock.now - begun
 
-        with SimScheduler(clock) as scheduler:
-            for offset in range(0, len(self.nodes), concurrency):
-                for node in self.nodes[offset:offset + concurrency]:
-                    scheduler.spawn(client, node, name=node.name)
-                scheduler.run()
+        with clock.span("wave", concurrency=concurrency):
+            with SimScheduler(clock) as scheduler:
+                for offset in range(0, len(self.nodes), concurrency):
+                    for node in self.nodes[offset:offset + concurrency]:
+                        scheduler.spawn(client, node, name=node.name)
+                    scheduler.run()
 
         return WaveReport(
             concurrency=concurrency,
@@ -329,25 +331,27 @@ class HACluster(Cluster):
 
         def client(node: ClientNode) -> None:
             begun = clock.now
-            outcome = action(node)
+            with clock.span("client_deploy", node=node.name):
+                outcome = action(node)
             latencies[node.name] = clock.now - begun
             finished_at.append(clock.now)
             if outcome is not None and getattr(outcome, "degraded", False):
                 degraded_total[0] += 1
 
-        with SimScheduler(clock) as scheduler:
-            if ha.monitor is not None:
-                ha.monitor.start(scheduler)
-            for offset in range(0, len(self.nodes), concurrency):
-                batch = [
-                    scheduler.spawn(client, node, name=node.name)
-                    for node in self.nodes[offset:offset + concurrency]
-                ]
-                for process in batch:
-                    scheduler.run_until(process)
-            if ha.monitor is not None:
-                ha.monitor.stop()
-            scheduler.run()
+        with clock.span("wave", concurrency=concurrency):
+            with SimScheduler(clock) as scheduler:
+                if ha.monitor is not None:
+                    ha.monitor.start(scheduler)
+                for offset in range(0, len(self.nodes), concurrency):
+                    batch = [
+                        scheduler.spawn(client, node, name=node.name)
+                        for node in self.nodes[offset:offset + concurrency]
+                    ]
+                    for process in batch:
+                        scheduler.run_until(process)
+                if ha.monitor is not None:
+                    ha.monitor.stop()
+                scheduler.run()
 
         after = stats.as_dict()
         delta = {key: after[key] - before[key] for key in after}

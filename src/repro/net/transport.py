@@ -24,13 +24,14 @@ from repro.common.errors import CorruptPayloadError, TransportError
 from repro.net.faults import FaultyLink
 from repro.net.link import Link
 from repro.net.resilience import RetryPolicy
+from repro.obs.metrics import MetricSet
 
 Handler = Callable[..., Tuple[Any, int]]
 """An RPC handler returns ``(result, response_payload_bytes)``."""
 
 
 @dataclass
-class RpcStats:
+class RpcStats(MetricSet):
     """Per-endpoint call accounting.
 
     ``calls`` counts *successful* calls (the historical meaning);
@@ -38,6 +39,9 @@ class RpcStats:
     handler exceptions alike — so benchmarks cannot under-report traffic
     by only looking at successes.  ``retries`` counts the re-attempts the
     retry policy issued and ``giveups`` the calls that exhausted it.
+
+    ``reset()``/``metrics()`` come from :class:`MetricSet`, so the group
+    plugs into the :class:`~repro.obs.metrics.MetricsRegistry` protocol.
     """
 
     calls: int = 0
@@ -46,13 +50,6 @@ class RpcStats:
     errors: int = 0
     retries: int = 0
     giveups: int = 0
-
-    def reset(self) -> None:
-        """Zero every counter — by reflection, so a newly added field
-        can never be silently left out of a reset path."""
-        from repro.common.stats import reset_counter_fields
-
-        reset_counter_fields(self)
 
 
 class RpcEndpoint:

@@ -1,0 +1,50 @@
+"""Simulation-native telemetry: spans, metrics, exporters, critical path.
+
+The observability plane the evaluation figures lean on.  Four pieces:
+
+* :mod:`repro.obs.trace` — nestable virtual-time spans with parent ids
+  and per-process tracks, recorded at zero virtual-time cost;
+* :mod:`repro.obs.metrics` — labeled counters, gauges, and fixed-bucket
+  histograms behind one ``reset()``/``snapshot()`` registry that also
+  adopts the existing stats dataclasses (RPC, pool, HA, faults);
+* :mod:`repro.obs.export` — Chrome ``trace_event`` JSON (Perfetto) and
+  a flat metrics-JSON dump, both byte-deterministic;
+* :mod:`repro.obs.critical` — critical-path analysis over a deploy's
+  span tree (per-phase latency attribution that sums to the total).
+
+This package imports nothing from the rest of :mod:`repro`, so every
+layer (the clock included) may depend on it without cycles.
+"""
+
+from repro.obs.critical import CriticalPathReport, critical_path, format_report
+from repro.obs.export import (
+    chrome_trace,
+    dump_json,
+    metrics_snapshot,
+    trace_json,
+)
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricSet,
+    MetricsRegistry,
+)
+from repro.obs.trace import Span, SpanTracer
+
+__all__ = [
+    "Counter",
+    "CriticalPathReport",
+    "Gauge",
+    "Histogram",
+    "MetricSet",
+    "MetricsRegistry",
+    "Span",
+    "SpanTracer",
+    "chrome_trace",
+    "critical_path",
+    "dump_json",
+    "format_report",
+    "metrics_snapshot",
+    "trace_json",
+]

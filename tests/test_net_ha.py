@@ -17,10 +17,10 @@ from repro.common.errors import (
     RegistryOverloadedError,
     UnavailableError,
 )
-from repro.common.stats import percentile, reset_counter_fields
+from repro.common.stats import percentile
 from repro.bench.deploy import deploy_with_gear
 from repro.bench.environment import make_ha_testbed, publish_images
-from repro.gear.pool import SharedFilePool
+from repro.gear.pool import PoolStats, SharedFilePool
 from repro.gear.viewer import FaultStats
 from repro.net.faults import (
     BrownoutWindow,
@@ -181,9 +181,12 @@ class TestHedgeEstimator:
         assert est.slowdown_ratio() == est.cold_ratio
 
 
-#: Every counter dataclass in the tree; the reflection reset must zero
-#: each field, so a newly added counter can never dodge the reset path.
-STATS_CLASSES = (RpcStats, LinkFaultStats, FaultStats, HAStats, ReplicaStats)
+#: Every counter dataclass in the tree; each is a MetricSet, whose
+#: rebuild-from-defaults reset must zero every field, so a newly added
+#: counter can never dodge the reset path.
+STATS_CLASSES = (
+    RpcStats, LinkFaultStats, FaultStats, HAStats, ReplicaStats, PoolStats,
+)
 
 
 class TestStatsReset:
@@ -194,34 +197,33 @@ class TestStatsReset:
         stats = stats_cls()
         for offset, field in enumerate(dataclasses.fields(stats)):
             setattr(stats, field.name, offset + 1)
-        if hasattr(stats, "reset"):
-            stats.reset()
-        else:
-            reset_counter_fields(stats)
+        stats.reset()
         assert stats == stats_cls(), (
             f"{stats_cls.__name__}.reset() missed a field"
         )
 
-    def test_reset_counter_fields_rejects_non_dataclass(self):
-        with pytest.raises(TypeError):
-            reset_counter_fields(object())
+    @pytest.mark.parametrize(
+        "stats_cls", STATS_CLASSES, ids=lambda c: c.__name__
+    )
+    def test_metrics_covers_every_field(self, stats_cls):
+        """The registry snapshot view must expose every declared counter."""
+        stats = stats_cls()
+        declared = {f.name for f in dataclasses.fields(stats)}
+        assert set(stats.metrics()) == declared
 
     def test_pool_reset_stats_covers_every_counter(self):
-        """Every public int counter on a fresh pool must zero on reset.
+        """Every PoolStats counter must zero through pool.reset_stats().
 
-        Enumerated by reflection so a counter added to the pool later
-        cannot be silently left out of ``reset_stats``.
+        Enumerated from the dataclass fields so a counter added to the
+        pool later cannot be silently left out of the reset path; the
+        legacy pool attributes must mirror the stats group both ways.
         """
         pool = SharedFilePool()
-        counters = [
-            name
-            for name, value in vars(pool).items()
-            if not name.startswith("_") and value == 0 and isinstance(value, int)
-            and not isinstance(value, bool)
-        ]
+        counters = [f.name for f in dataclasses.fields(PoolStats)]
         assert counters, "pool exposes no counters?"
         for offset, name in enumerate(counters):
             setattr(pool, name, offset + 1)
+            assert getattr(pool.stats, name) == offset + 1
         pool.reset_stats()
         leftovers = {n: getattr(pool, n) for n in counters if getattr(pool, n)}
         assert not leftovers, f"pool.reset_stats() missed {leftovers}"
