@@ -1,0 +1,153 @@
+#!/usr/bin/env python
+"""Emit the checked-in perf-trajectory artifacts (``BENCH_ext_*.json``).
+
+ROADMAP.md notes the extension benchmarks track the repo's performance
+trajectory but that no ``BENCH_*.json`` artifacts are checked in.  This
+script fixes that: it runs one small, fully deterministic scenario per
+extension and writes a canonical JSON artifact for each into
+``benchmarks/artifacts/``.  Every number in the artifacts is *simulated*
+(virtual seconds, modeled bytes) — never wall clock — so reruns are
+byte-identical and a diff against the committed artifact is a real
+regression signal, not noise.
+
+``scripts/check.sh`` regenerates the artifacts and fails if they drift
+from the committed copies: a PR that changes deploy times, egress, or
+failover accounting must commit the refreshed artifacts alongside the
+code, which is exactly how the trajectory stays tracked in-repo.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/artifacts.py [--out-dir DIR]
+"""
+
+from __future__ import annotations
+
+import argparse
+import contextlib
+import io
+import json
+import os
+import sys
+
+from repro import cli
+from repro.bench.deploy import deploy_with_gear
+from repro.bench.environment import make_testbed, publish_images
+from repro.net.faults import FaultPlan, OutageWindow
+from repro.net.resilience import RetryPolicy
+from repro.workloads.corpus import CorpusBuilder, CorpusConfig
+
+DEFAULT_OUT_DIR = os.path.join(os.path.dirname(__file__), "artifacts")
+
+#: CLI-backed artifacts: each extension's scenario is the same small
+#: configuration the ``scripts/check.sh`` determinism gates double-run,
+#: so run-to-run byte-identity is already certified before the numbers
+#: land in an artifact.
+CLI_SCENARIOS = {
+    "fleet": [
+        "deploy", "--series", "nginx", "--versions", "2", "--scale", "0.2",
+        "--clients", "8", "--bandwidth", "100", "--json",
+    ],
+    "crash": [
+        "crash", "--series", "nginx", "--versions", "1", "--scale", "0.2",
+        "--target", "nginx", "--crash-seed", "11", "--json",
+    ],
+    "ha": [
+        "ha", "--series", "nginx", "--versions", "2", "--scale", "0.2",
+        "--clients", "6", "--concurrency", "3", "--strategy", "p2c",
+        "--ha-seed", "11", "--json",
+    ],
+    "obs": [
+        "trace", "--series", "nginx", "--versions", "1", "--scale", "0.2",
+        "--target", "nginx", "--seed", "11", "--json",
+    ],
+    "edge": [
+        "edge", "--series", "nginx", "--versions", "2", "--scale", "0.2",
+        "--target", "nginx", "--clients", "8", "--edge-seed", "11", "--json",
+    ],
+}
+
+
+def _run_cli(argv) -> dict:
+    """Run a ``repro.cli`` command in-process; parse its JSON report."""
+    buffer = io.StringIO()
+    with contextlib.redirect_stdout(buffer):
+        code = cli.main(list(argv))
+    if code != 0:
+        raise SystemExit(
+            f"artifact scenario failed (exit {code}): {' '.join(argv)}"
+        )
+    return json.loads(buffer.getvalue())
+
+
+def _resilience_report() -> dict:
+    """One hostile-wire cell (no CLI surface for this extension).
+
+    Mirrors ``bench_ext_resilience.py``: drops + corruption + a 2 s
+    registry outage, and the invariant that faults are paid for in
+    virtual time, never in correctness.
+    """
+    corpus = CorpusBuilder(
+        CorpusConfig(
+            seed=7, file_scale=0.2, size_scale=0.2,
+            series_names=("nginx",), versions_cap=2,
+        )
+    ).build()
+    sample = corpus.by_series["nginx"]
+    plan = FaultPlan(
+        seed="artifact-resilience",
+        drop_rate=0.05,
+        corrupt_rate=0.05,
+        timeout_s=0.2,
+        outages=(OutageWindow(start_s=0.0, duration_s=2.0),),
+        targets=("gear-registry",),
+    )
+    policy = RetryPolicy(max_attempts=6, base_backoff_s=0.1,
+                         max_backoff_s=4.0, deadline_s=60.0, budget_s=600.0)
+    testbed = make_testbed(fault_plan=plan, retry_policy=policy)
+    testbed.disarm_faults()
+    publish_images(testbed, sample, convert=True)
+    testbed.arm_faults()
+    report = {"drop_rate": 0.05, "corrupt_rate": 0.05, "outage_s": 2.0,
+              "images": len(sample), "total_s": 0.0, "retries": 0,
+              "errors": 0, "degraded": 0}
+    for generated in sample:
+        result = deploy_with_gear(testbed, generated)
+        report["total_s"] += result.total_s
+        report["retries"] += result.retries
+        report["errors"] += result.errors
+        report["degraded"] += int(result.degraded)
+    report["faults_injected"] = testbed.link.fault_stats.total_faults
+    if report["degraded"]:
+        raise SystemExit("resilience artifact scenario degraded")
+    return report
+
+
+def write_artifacts(out_dir: str) -> list:
+    os.makedirs(out_dir, exist_ok=True)
+    reports = {name: _run_cli(argv) for name, argv in CLI_SCENARIOS.items()}
+    reports["resilience"] = _resilience_report()
+    written = []
+    for name in sorted(reports):
+        path = os.path.join(out_dir, f"BENCH_ext_{name}.json")
+        payload = {
+            "scenario": CLI_SCENARIOS.get(name, ["(inline)"]),
+            "report": reports[name],
+        }
+        with open(path, "w") as handle:
+            handle.write(json.dumps(payload, indent=2, sort_keys=True))
+            handle.write("\n")
+        written.append(path)
+    return written
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out-dir", default=DEFAULT_OUT_DIR)
+    args = parser.parse_args(argv)
+    for path in write_artifacts(args.out_dir):
+        print(f"wrote {os.path.relpath(path)}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,239 @@
+"""Extension: multi-tier edge/P2P distribution of Gear files.
+
+The paper's fleet experiments route every byte through the registry
+uplink.  This extension inserts the edge tier (:mod:`repro.net.edge`):
+nodes peer-serve already-cached Gear files within a site, a gossip-fed
+tracker maps fingerprints to peers, and fetches walk the
+peer → site-cache → registry failover chain.
+
+The sweeps report what the tier buys and what adversity costs:
+
+* **registry-egress reduction** vs. the single-tier topology on a
+  rolling version upgrade (zero churn) — the headline claim, ≥ 40 %;
+* **deploy p50/p99 vs. churn rate** — stale tracker entries and departed
+  peers cost bounded failovers, never failed deploys;
+* **p50/p99 vs. WAN bandwidth** — the thinner the uplink, the more the
+  LAN tier matters;
+* **p50/p99 vs. fleet size** — peer capacity grows with the fleet while
+  registry load stays flat.
+
+Every cell replays deterministically; one churn cell is double-run and
+compared field-for-field as a regression guard.
+"""
+
+from repro.bench.deploy import deploy_with_gear
+from repro.bench.environment import publish_images
+from repro.bench.reporting import format_table, pct
+from repro.net.topology import Cluster, EdgeCluster
+
+from conftest import QUICK, run_once
+
+FLEET_SIZES = (4, 8) if QUICK else (8, 16, 32)
+CHURN_RATES = (0.0, 2.0) if QUICK else (0.0, 1.0, 4.0)
+WAN_MBPS = (100.0, 904.0) if QUICK else (20.0, 100.0, 904.0)
+UPGRADE_SERIES = ("nginx",) if QUICK else ("nginx", "tomcat")
+EDGE_CLIENTS = 4 if QUICK else 8
+
+
+def _rolling_upgrade(cluster, images, concurrency):
+    """Deploy each version fleet-wide in order; per-version wave list."""
+    publish_images(cluster.registry_testbed, images, convert=True)
+    waves = []
+    for generated in images:
+        waves.append(
+            cluster.deploy_wave(
+                lambda node, gen=generated: deploy_with_gear(
+                    node.testbed, gen
+                ),
+                concurrency=concurrency,
+            )
+        )
+    return waves
+
+
+def test_ext_edge_egress_reduction(benchmark, corpus):
+    """Zero-churn rolling upgrades: WAN egress vs. the single-tier fleet.
+
+    The invariant the topology exists for: with the peer tier quiet but
+    enabled, registry egress over the upgrade trajectory drops ≥ 40 %.
+    """
+    clients = EDGE_CLIENTS
+    concurrency = max(1, clients // 4)
+
+    def measure():
+        rows = {}
+        for series in UPGRADE_SERIES:
+            images = corpus.by_series[series]
+            flat = Cluster(clients, bandwidth_mbps=200.0)
+            flat_waves = _rolling_upgrade(flat, images, concurrency)
+            edge = EdgeCluster(
+                clients, bandwidth_mbps=200.0, seed="bench-edge"
+            )
+            edge_waves = _rolling_upgrade(edge, images, concurrency)
+            rows[series] = {
+                "flat_egress": sum(w.egress_bytes for w in flat_waves),
+                "edge_egress": sum(w.egress_bytes for w in edge_waves),
+                "peer_hits": sum(w.peer_hits for w in edge_waves),
+                "site_hits": sum(w.site_hits for w in edge_waves),
+                "flat_p99": max(w.p99_s for w in flat_waves),
+                "edge_p99": max(w.p99_s for w in edge_waves),
+                "degraded": sum(w.degraded for w in edge_waves),
+            }
+        return rows
+
+    rows = run_once(benchmark, measure)
+
+    print("\nExtension — edge tier registry-egress reduction (rolling upgrade)")
+    table = []
+    for series, row in rows.items():
+        reduction = 1.0 - row["edge_egress"] / row["flat_egress"]
+        table.append(
+            (
+                series,
+                f"{row['flat_egress'] / 1e6:.2f}",
+                f"{row['edge_egress'] / 1e6:.2f}",
+                pct(reduction),
+                str(row["peer_hits"]),
+                str(row["site_hits"]),
+                f"{row['flat_p99']:.2f}",
+                f"{row['edge_p99']:.2f}",
+            )
+        )
+        assert row["degraded"] == 0
+        assert reduction >= 0.40, (series, reduction)
+    print(
+        format_table(
+            ["Series", "Flat MB", "Edge MB", "Saved", "Peer hits",
+             "Site hits", "Flat p99 (s)", "Edge p99 (s)"],
+            table,
+        )
+    )
+
+
+def _edge_wave(clients, *, churn=0.0, wan=200.0, seed="bench-edge", corpus):
+    generated = corpus.by_series["nginx"][0]
+    cluster = EdgeCluster(
+        clients,
+        bandwidth_mbps=wan,
+        churn_rate_per_s=churn,
+        seed=seed,
+    )
+    publish_images(cluster.registry_testbed, [generated], convert=True)
+    return cluster.deploy_wave(
+        lambda node: deploy_with_gear(node.testbed, generated),
+        concurrency=max(1, clients // 4),
+    )
+
+
+def test_ext_edge_churn_sweep(benchmark, corpus):
+    """Deploy latency vs. churn rate; one cell double-run for determinism."""
+
+    def sweep():
+        return {
+            rate: _edge_wave(EDGE_CLIENTS, churn=rate, corpus=corpus)
+            for rate in CHURN_RATES
+        }
+
+    grid = run_once(benchmark, sweep)
+
+    print("\nExtension — edge deploys under churn (events/s)")
+    print(
+        format_table(
+            ["Churn", "p50 (s)", "p99 (s)", "Peer hits", "Stale",
+             "Failovers", "Leaves", "Joins", "Degraded"],
+            [
+                (
+                    f"{rate:g}",
+                    f"{wave.p50_s:.2f}",
+                    f"{wave.p99_s:.2f}",
+                    str(wave.peer_hits),
+                    str(wave.stale_resolutions),
+                    str(wave.failovers),
+                    str(wave.leaves),
+                    str(wave.joins),
+                    str(wave.degraded),
+                )
+                for rate, wave in grid.items()
+            ],
+        )
+    )
+    for wave in grid.values():
+        assert wave.degraded == 0
+    # Determinism guard: replay the highest-churn cell and compare every
+    # report field.
+    rate = CHURN_RATES[-1]
+    replay = _edge_wave(EDGE_CLIENTS, churn=rate, corpus=corpus)
+    assert replay.as_dict() == grid[rate].as_dict()
+
+
+def test_ext_edge_wan_sweep(benchmark, corpus):
+    """Deploy latency vs. WAN bandwidth: the LAN tier absorbs the pinch."""
+
+    def sweep():
+        return {
+            wan: _edge_wave(EDGE_CLIENTS, wan=wan, corpus=corpus)
+            for wan in WAN_MBPS
+        }
+
+    grid = run_once(benchmark, sweep)
+
+    print("\nExtension — edge deploys vs. WAN bandwidth (Mbps)")
+    print(
+        format_table(
+            ["WAN", "p50 (s)", "p99 (s)", "Offload", "Egress MB",
+             "Saved MB", "Degraded"],
+            [
+                (
+                    f"{wan:g}",
+                    f"{wave.p50_s:.2f}",
+                    f"{wave.p99_s:.2f}",
+                    pct(wave.offload_rate),
+                    f"{wave.egress_bytes / 1e6:.2f}",
+                    f"{wave.egress_saved_bytes / 1e6:.2f}",
+                    str(wave.degraded),
+                )
+                for wan, wave in grid.items()
+            ],
+        )
+    )
+    for wave in grid.values():
+        assert wave.degraded == 0
+
+
+def test_ext_edge_fleet_sweep(benchmark, corpus):
+    """Deploy latency vs. fleet size: registry egress stays sublinear."""
+
+    def sweep():
+        return {
+            clients: _edge_wave(clients, corpus=corpus)
+            for clients in FLEET_SIZES
+        }
+
+    grid = run_once(benchmark, sweep)
+
+    print("\nExtension — edge deploys vs. fleet size")
+    print(
+        format_table(
+            ["Clients", "p50 (s)", "p99 (s)", "Peer hits", "Offload",
+             "Egress MB", "Degraded"],
+            [
+                (
+                    str(clients),
+                    f"{wave.p50_s:.2f}",
+                    f"{wave.p99_s:.2f}",
+                    str(wave.peer_hits),
+                    pct(wave.offload_rate),
+                    f"{wave.egress_bytes / 1e6:.2f}",
+                    str(wave.degraded),
+                )
+                for clients, wave in grid.items()
+            ],
+        )
+    )
+    for wave in grid.values():
+        assert wave.degraded == 0
+    # Peer offload grows with fleet size: the biggest fleet must offload
+    # at least as well as the smallest.
+    small = grid[FLEET_SIZES[0]]
+    large = grid[FLEET_SIZES[-1]]
+    assert large.offload_rate >= small.offload_rate

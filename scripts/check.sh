@@ -1,8 +1,8 @@
 #!/usr/bin/env sh
 # Repo health gate: tier-1 tests, warnings-as-errors on the fault-injection,
-# scheduler, journal/recovery, HA, and telemetry suites, fleet-contention /
-# crash / HA / trace determinism gates, and a full bytecode compile of the
-# source tree.
+# scheduler, journal/recovery, HA, telemetry, and edge suites, fleet-
+# contention / crash / HA / trace / edge determinism gates, the checked-in
+# perf-trajectory artifacts, and a full bytecode compile of the source tree.
 #
 # Usage: sh scripts/check.sh   (from the repo root)
 set -eu
@@ -27,6 +27,9 @@ python -W error -m pytest tests/test_net_ha.py tests/test_gear_replication.py -q
 
 echo "== telemetry suites under -W error =="
 python -W error -m pytest tests/test_obs_trace.py tests/test_obs_metrics.py -q
+
+echo "== edge/P2P suites under -W error =="
+python -W error -m pytest tests/test_net_edge.py tests/test_gear_gc.py -q
 
 echo "== fleet-contention determinism gate =="
 # The concurrent simulation must be replayable: two identical sweeps
@@ -70,6 +73,43 @@ for ha_seed in 11 42; do
         "$fleet_tmp/ha-$ha_seed-run2.json"
 done
 echo "HA sweeps identical across runs for both seeds"
+
+echo "== edge determinism gate =="
+# Peer selection, gossip jitter, churn, and the mid-serve crash all draw
+# from seeded streams: for each seed, two identical churn+byzantine
+# sweeps have to emit byte-identical JSON reports (and exit 0, which
+# certifies zero degraded deploys, zero integrity violations, and the
+# corrupt peer blacklisted).
+for edge_seed in 11 42; do
+    edge_cmd="python -m repro.cli edge --series nginx --versions 2 \
+        --scale 0.2 --target nginx --clients 8 \
+        --scenario churn+byzantine --edge-seed $edge_seed --json"
+    $edge_cmd > "$fleet_tmp/edge-$edge_seed-run1.json"
+    $edge_cmd > "$fleet_tmp/edge-$edge_seed-run2.json"
+    diff "$fleet_tmp/edge-$edge_seed-run1.json" \
+        "$fleet_tmp/edge-$edge_seed-run2.json"
+done
+echo "edge sweeps identical across runs for both seeds"
+
+echo "== edge single-tier equivalence gate =="
+# With no peers and no churn the edge tier must cost exactly nothing:
+# the run has to be byte- and virtual-time-identical to the single-tier
+# testbed (exit 1 on any divergence).
+python -m repro.cli edge --series nginx --versions 2 --scale 0.2 \
+    --target nginx --equivalence --json > "$fleet_tmp/edge-equiv.json"
+echo "peer-less edge run identical to single-tier testbed"
+
+echo "== perf-trajectory artifacts =="
+# Regenerate the checked-in BENCH_ext_*.json artifacts; a PR that moves
+# any simulated number must commit the refreshed artifacts with it.
+python benchmarks/artifacts.py
+if command -v git >/dev/null 2>&1 && git rev-parse --git-dir >/dev/null 2>&1
+then
+    git diff --exit-code -- benchmarks/artifacts \
+        || { echo "BENCH_ext artifacts drifted: commit the refreshed \
+benchmarks/artifacts/*.json" >&2; exit 1; }
+fi
+echo "perf-trajectory artifacts fresh"
 
 echo "== trace-determinism gate =="
 # The telemetry plane must not disturb determinism, and its own exports

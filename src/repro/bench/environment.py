@@ -18,6 +18,7 @@ from repro.gear.converter import GearConverter
 from repro.gear.driver import GearDriver
 from repro.gear.pool import EvictionPolicy, SharedFilePool
 from repro.gear.registry import GearRegistry
+from repro.net.edge import EdgeFabric, EdgeSite, EdgeStats
 from repro.net.faults import FaultPlan, FaultyLink
 from repro.net.ha import (
     GEAR_ENDPOINT,
@@ -56,6 +57,9 @@ class Testbed:
     #: The unified metrics registry every stats group is registered
     #: with; ``metrics.reset()`` is the one reset for the whole testbed.
     metrics: Optional[MetricsRegistry] = None
+    #: The edge distribution fabric when this testbed has a peer-serving
+    #: site tier (mint nodes with ``edge.client()``).
+    edge: Optional[EdgeFabric] = None
 
     def attach_tracer(self, tracer: Optional[SpanTracer] = None) -> SpanTracer:
         """Attach (or create) a span tracer on the testbed clock."""
@@ -115,6 +119,7 @@ class Testbed:
             fault_plan=self.fault_plan,
             ha=self.ha,
             metrics=self.metrics,
+            edge=self.edge,
         )
         # Replace-by-key: the new client's pool and journal take over the
         # old ones' registry slots.
@@ -352,6 +357,83 @@ def make_ha_testbed(
         ha=ha,
     )
     _instrument(testbed)
+    return testbed
+
+
+def make_edge_testbed(
+    *,
+    sites: int = 1,
+    bandwidth_mbps: float = 904.0,
+    lan_mbps: float = 904.0,
+    registry_disk: DiskProfile = HDD,
+    client_disk: DiskProfile = HDD,
+    pool_capacity_bytes: Optional[int] = None,
+    pool_policy: EvictionPolicy = EvictionPolicy.LRU,
+    fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    edge_retry_policy: Optional[RetryPolicy] = None,
+    gossip_interval_s: float = 0.25,
+    seed: str = "edge",
+) -> Testbed:
+    """Assemble the multi-tier edge testbed: registry ↔ WAN ↔ sites ↔ LAN.
+
+    The registry side is wired exactly as :func:`make_testbed` (same WAN
+    link, same endpoints), then ``sites`` :class:`~repro.net.edge.
+    EdgeSite`\\ s are attached, each with its own LAN link and
+    :class:`~repro.net.link.TransferLog` — so ``testbed.link.log`` keeps
+    counting *registry egress only* and the peer/site traffic shows up on
+    the site links.  Mint nodes with ``testbed.edge.client()``; each gets
+    an :class:`~repro.net.edge.EdgeTransport` walking the peer → site
+    cache → registry chain.  With no peers holding a file and an empty
+    site cache, that chain is byte- and time-identical to the single-tier
+    testbed's registry call.
+
+    ``edge_retry_policy`` governs whole-chain backoff rounds (defaults to
+    a fabric-seeded :class:`RetryPolicy`); ``retry_policy``/``fault_plan``
+    apply to the WAN exactly as in :func:`make_testbed`.
+    """
+    if sites < 1:
+        raise ValueError("need at least one edge site")
+    testbed = make_testbed(
+        bandwidth_mbps=bandwidth_mbps,
+        registry_disk=registry_disk,
+        client_disk=client_disk,
+        pool_capacity_bytes=pool_capacity_bytes,
+        pool_policy=pool_policy,
+        fault_plan=fault_plan,
+        retry_policy=retry_policy,
+    )
+    stats = EdgeStats()
+    site_list = [
+        EdgeSite(
+            f"site-{index}",
+            testbed.clock,
+            Link(testbed.clock, bandwidth_mbps=lan_mbps),
+            stats=stats,
+            seed=seed,
+            gossip_interval_s=gossip_interval_s,
+        )
+        for index in range(sites)
+    ]
+    if edge_retry_policy is None:
+        edge_retry_policy = RetryPolicy(seed=f"{seed}-fabric")
+    fabric = EdgeFabric(
+        testbed,
+        site_list,
+        stats=stats,
+        seed=seed,
+        retry_policy=edge_retry_policy,
+        pool_capacity_bytes=pool_capacity_bytes,
+        pool_policy=pool_policy,
+    )
+    testbed.edge = fabric
+    if testbed.metrics is not None:
+        testbed.metrics.register("edge", stats)
+        testbed.metrics.register_callback(
+            "edge_retry",
+            edge_retry_policy.metrics,
+            reset=edge_retry_policy.reset_spent,
+        )
     return testbed
 
 

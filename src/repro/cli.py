@@ -17,6 +17,11 @@ Commands:
 * ``trace``    — telemetry run: deploy under Gear with the span tracer
   attached, print the critical-path phase table, and export a Chrome
   ``trace_event`` JSON (Perfetto-loadable) plus a flat metrics dump;
+* ``edge``     — multi-tier edge/P2P sweep: a fleet deploys through
+  peer-serving edge sites under quiet / churn / byzantine scenarios;
+  exits nonzero on any integrity violation or degraded fallback.
+  ``--equivalence`` instead checks a zero-churn single-node edge run is
+  byte- and time-identical to the single-tier testbed;
 * ``catalog``  — list the Table I series catalog.
 
 All commands run entirely in-process on the simulated testbed; sizes and
@@ -39,9 +44,15 @@ from repro.bench.deploy import (
     deploy_with_gear_resumable,
     deploy_with_slacker,
 )
-from repro.bench.environment import make_testbed, publish_images
+from repro.bench.deploy import container_fs_digest
+from repro.bench.environment import (
+    make_edge_testbed,
+    make_testbed,
+    publish_images,
+)
 from repro.bench.reporting import format_table, gb, pct
 from repro.bench.storage import compare_storage
+from repro.common.stats import percentile
 from repro.net.faults import (
     BrownoutWindow,
     CrashPlan,
@@ -50,7 +61,7 @@ from repro.net.faults import (
     OutageWindow,
     byzantine_plan,
 )
-from repro.net.topology import Cluster, HACluster
+from repro.net.topology import Cluster, EdgeCluster, HACluster
 from repro.obs import (
     critical_path,
     dump_json,
@@ -450,6 +461,176 @@ def cmd_ha(args) -> int:
     return 0 if ok else 1
 
 
+EDGE_SCENARIOS = ("quiet", "churn", "byzantine", "churn+byzantine")
+
+
+def _edge_scenario_kwargs(scenario: str, args) -> dict:
+    """EdgeCluster construction kwargs for one named scenario."""
+    kwargs = {
+        "bandwidth_mbps": args.bandwidth,
+        "lan_mbps": args.lan_bandwidth,
+        "sites": args.sites,
+        "gossip_interval_s": args.gossip_interval,
+        "seed": f"cli-edge-{args.edge_seed}",
+    }
+    if "churn" in scenario:
+        kwargs["churn_rate_per_s"] = args.churn_rate
+        kwargs["churn_horizon_s"] = args.churn_horizon
+    if "byzantine" in scenario:
+        # One corrupt-serving peer in the first wave batch, so it holds
+        # files early and gets selected by later batches.
+        kwargs["byzantine"] = (min(1, args.clients - 1),)
+    if scenario == "churn+byzantine":
+        # The full adversity menu adds one peer crash mid-serve.
+        kwargs["crash_node"] = 0
+        kwargs["crash_op_index"] = 0
+    return kwargs
+
+
+def _edge_deploy_sequence(testbed, images) -> dict:
+    """Deploy each image in order on one client; exact-valued record.
+
+    Used by the ``--equivalence`` gate: every field (virtual times, wire
+    bytes, container digests) must match bit-for-bit between the
+    single-tier testbed and a peer-less edge node.
+    """
+    record = {"total_s": [], "network_bytes": [], "fs_digests": []}
+    for generated in images:
+        result = deploy_with_gear(testbed, generated)
+        container = testbed.gear_driver.containers()[-1]
+        record["total_s"].append(result.total_s)
+        record["network_bytes"].append(result.network_bytes)
+        record["fs_digests"].append(container_fs_digest(container))
+    return record
+
+
+def cmd_edge_equivalence(args) -> int:
+    """Zero-churn equivalence gate: edge chain == single-tier registry.
+
+    With no peers holding a file and an empty site cache, the edge
+    failover chain must degenerate to exactly the single-tier registry
+    call — tracker and site-cache bookkeeping charge zero virtual time
+    and zero wire bytes.  Deploys a version series on both topologies and
+    compares times, bytes, and container digests exactly.
+    """
+    corpus = _corpus(args, series=(args.target,))
+    images = corpus.by_series[args.target]
+
+    control_bed = make_testbed(bandwidth_mbps=args.bandwidth)
+    publish_images(control_bed, images, convert=True)
+    control = _edge_deploy_sequence(control_bed.fresh_client(), images)
+
+    edge_bed = make_edge_testbed(
+        bandwidth_mbps=args.bandwidth,
+        lan_mbps=args.lan_bandwidth,
+        sites=args.sites,
+        gossip_interval_s=args.gossip_interval,
+        seed=f"cli-edge-{args.edge_seed}",
+    )
+    publish_images(edge_bed, images, convert=True)
+    edge = _edge_deploy_sequence(edge_bed.edge.client(), images)
+
+    identical = control == edge
+    report = {
+        "target": args.target,
+        "versions": len(images),
+        "bandwidth_mbps": args.bandwidth,
+        "identical": identical,
+        "control": control,
+        "edge": edge,
+        "edge_stats": edge_bed.edge.stats.as_dict(),
+    }
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+    else:
+        verdict = "identical" if identical else "DIVERGED"
+        print(
+            f"edge equivalence on {args.target} x{len(images)}: {verdict} "
+            f"(control p50 {percentile(control['total_s'], 50):.3f}s)"
+        )
+    return 0 if identical else 1
+
+
+def cmd_edge(args) -> int:
+    """Edge/P2P scenario sweep: fleet deploys through peer-serving sites.
+
+    Every scenario must complete all deploys with zero degraded
+    fallbacks and zero integrity violations (no poisoned bytes in any
+    pool or site cache); byzantine scenarios must additionally blacklist
+    the corrupt peer.  Exit code 1 on any violation.  Runs are
+    deterministic in the seeds (the `scripts/check.sh` edge gate
+    double-runs the JSON output).
+    """
+    if args.equivalence:
+        return cmd_edge_equivalence(args)
+    scenarios = args.scenario or list(EDGE_SCENARIOS)
+    unknown = [s for s in scenarios if s not in EDGE_SCENARIOS]
+    if unknown:
+        print(f"edge: unknown scenario(s) {unknown}; "
+              f"expected {list(EDGE_SCENARIOS)}", file=sys.stderr)
+        return 2
+    corpus = _corpus(args, series=(args.target,))
+    generated = corpus.by_series[args.target][0]
+    concurrency = args.concurrency or max(1, args.clients // 4)
+    report = {
+        "target": generated.reference,
+        "bandwidth_mbps": args.bandwidth,
+        "lan_mbps": args.lan_bandwidth,
+        "clients": args.clients,
+        "concurrency": concurrency,
+        "sites": args.sites,
+        "scenarios": {},
+    }
+    ok = True
+    for scenario in scenarios:
+        cluster = EdgeCluster(
+            args.clients, **_edge_scenario_kwargs(scenario, args)
+        )
+        publish_images(cluster.registry_testbed, [generated], convert=True)
+        wave = cluster.deploy_wave(
+            lambda node: deploy_with_gear(node.testbed, generated),
+            concurrency=concurrency,
+        )
+        violations = cluster.fabric.audit_integrity()
+        summary = wave.as_dict()
+        summary["integrity_violations"] = len(violations)
+        scenario_ok = wave.degraded == 0 and not violations
+        if "byzantine" in scenario:
+            scenario_ok = scenario_ok and wave.blacklists >= 1
+        ok = ok and scenario_ok
+        report["scenarios"][scenario] = summary
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+        return 0 if ok else 1
+    print(
+        f"Edge sweep of {generated.reference}: {args.clients} clients, "
+        f"{concurrency} concurrent, {args.sites} site(s), "
+        f"WAN {args.bandwidth:g} Mbps / LAN {args.lan_bandwidth:g} Mbps"
+    )
+    print(
+        format_table(
+            ["Scenario", "p50 (s)", "p99 (s)", "Peer hits", "Offload",
+             "Stale", "Blacklists", "Crashes", "Degraded", "Violations"],
+            [
+                (
+                    scenario,
+                    f"{wave['p50_s']:.2f}",
+                    f"{wave['p99_s']:.2f}",
+                    str(wave["peer_hits"]),
+                    pct(wave["offload_rate"]),
+                    str(wave["stale_resolutions"]),
+                    str(wave["blacklists"]),
+                    str(wave["peer_crashes"]),
+                    str(wave["degraded"]),
+                    str(wave["integrity_violations"]),
+                )
+                for scenario, wave in report["scenarios"].items()
+            ],
+        )
+    )
+    return 0 if ok else 1
+
+
 #: Coverage floor for the single-deploy trace gate: the span tree must
 #: account for at least this fraction of the deploy makespan.
 TRACE_COVERAGE_FLOOR = 0.95
@@ -678,6 +859,43 @@ def build_parser() -> argparse.ArgumentParser:
                          "backoff, and fault streams")
     ha.add_argument("--json", action="store_true",
                     help="emit the sweep report as one JSON line")
+    edge = sub.add_parser(
+        "edge", parents=[common],
+        help="multi-tier edge/P2P sweep under churn/byzantine scenarios",
+    )
+    edge.add_argument("--target", default="nginx")
+    edge.add_argument("--bandwidth", type=float, default=200.0,
+                      help="registry WAN uplink in Mbps")
+    edge.add_argument("--lan-bandwidth", type=float, default=904.0,
+                      help="intra-site LAN bandwidth in Mbps")
+    edge.add_argument("--clients", type=int, default=8,
+                      help="number of edge nodes in the fleet")
+    edge.add_argument("--concurrency", type=int, default=0,
+                      help="clients deploying simultaneously per wave "
+                           "(default: clients/4, so later batches can "
+                           "peer-fetch from earlier ones)")
+    edge.add_argument("--sites", type=int, default=1,
+                      help="edge sites (nodes join round-robin)")
+    edge.add_argument("--gossip-interval", type=float, default=0.25,
+                      help="tracker refresh period in virtual seconds")
+    edge.add_argument("--churn-rate", type=float, default=2.0,
+                      help="join/leave events per virtual second in "
+                           "churn scenarios")
+    edge.add_argument("--churn-horizon", type=float, default=10.0,
+                      help="churn schedule horizon in virtual seconds")
+    edge.add_argument(
+        "--scenario", nargs="*", default=None,
+        help=f"scenarios to run (default: all of {list(EDGE_SCENARIOS)})",
+    )
+    edge.add_argument("--edge-seed", default="0",
+                      help="seed token for peer selection, gossip jitter, "
+                           "churn, and crash streams")
+    edge.add_argument("--equivalence", action="store_true",
+                      help="instead of the sweep, check a peer-less edge "
+                           "run is byte- and time-identical to the "
+                           "single-tier testbed")
+    edge.add_argument("--json", action="store_true",
+                      help="emit the report as one JSON line")
     trace = sub.add_parser(
         "trace", parents=[common],
         help="trace a Gear deployment; critical path + Chrome trace export",
@@ -714,6 +932,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_crash(args)
     if args.command == "ha":
         return cmd_ha(args)
+    if args.command == "edge":
+        return cmd_edge(args)
     if args.command == "trace":
         return cmd_trace(args)
     raise AssertionError("unreachable")

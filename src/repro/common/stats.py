@@ -20,6 +20,16 @@ import math
 from typing import List, Tuple
 
 
+class EmptySampleError(ValueError):
+    """A statistic was requested over zero observations.
+
+    Subclasses :class:`ValueError` so callers that already guarded with
+    ``except ValueError`` keep working, while new code (wave reports for
+    zero-client or all-shed waves) can catch the precise condition
+    instead of an :class:`IndexError` escaping from rank arithmetic.
+    """
+
+
 def percentile(values: "List[float] | Tuple[float, ...]", q: float) -> float:
     """Nearest-rank percentile (deterministic; no interpolation).
 
@@ -27,10 +37,12 @@ def percentile(values: "List[float] | Tuple[float, ...]", q: float) -> float:
     reproducible byte-for-byte across runs and platforms.  Boundary
     semantics for tiny samples: with one value every ``q`` returns it;
     with two values ``q <= 50`` returns the smaller and ``q > 50`` the
-    larger (rank = max(1, ceil(q/100 * n))).
+    larger (rank = max(1, ceil(q/100 * n))).  An empty sample raises
+    :class:`EmptySampleError` — there is no meaningful sentinel a
+    percentile could return.
     """
     if not values:
-        raise ValueError("percentile of an empty sequence")
+        raise EmptySampleError("percentile of an empty sequence")
     if not 0 <= q <= 100:
         raise ValueError(f"percentile must be in [0, 100], got {q}")
     ordered = sorted(values)

@@ -11,9 +11,22 @@ faults (drops, corruption, latency spikes, outages, brownouts),
 :mod:`repro.net.resilience` supplies the retry/backoff machinery the
 transport applies against them, and :mod:`repro.net.ha` adds the
 replicated serving tier: replica sets with failover, hedged fetches,
-circuit breakers, and load shedding.
+circuit breakers, and load shedding.  :mod:`repro.net.edge` stacks the
+multi-tier edge topology on top: per-site peer serving with a gossip-fed
+tracker, churn/crash/byzantine adversity, and registry fallback.
 """
 
+from repro.net.edge import (
+    ChurnDriver,
+    ChurnEvent,
+    ChurnSchedule,
+    EdgeFabric,
+    EdgePeer,
+    EdgeSite,
+    EdgeStats,
+    EdgeTransport,
+    SiteTracker,
+)
 from repro.net.faults import (
     BrownoutWindow,
     FaultPlan,
@@ -42,7 +55,15 @@ __all__ = [
     "AdmissionGate",
     "BreakerState",
     "BrownoutWindow",
+    "ChurnDriver",
+    "ChurnEvent",
+    "ChurnSchedule",
     "CircuitBreaker",
+    "EdgeFabric",
+    "EdgePeer",
+    "EdgeSite",
+    "EdgeStats",
+    "EdgeTransport",
     "FaultPlan",
     "FaultyLink",
     "HAFetchPolicy",
@@ -57,6 +78,7 @@ __all__ = [
     "RpcEndpoint",
     "RpcTransport",
     "ScrubReport",
+    "SiteTracker",
     "TransferLog",
     "byzantine_plan",
     "lossy_plan",

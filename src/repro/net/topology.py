@@ -25,13 +25,20 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
-from repro.bench.environment import Testbed, make_ha_testbed, make_testbed
+from repro.bench.environment import (
+    Testbed,
+    make_edge_testbed,
+    make_ha_testbed,
+    make_testbed,
+)
 from repro.common.clock import SimClock, SimScheduler
 
 # The single nearest-rank implementation lives in repro.common.stats so
 # wave reports and the HA hedging deadline estimator cannot disagree on
 # tiny-sample semantics; re-exported here for existing callers.
 from repro.common.stats import percentile
+from repro.net.edge import ChurnDriver, ChurnSchedule
+from repro.net.faults import CrashPlan, CrashPoint
 
 
 @dataclass
@@ -60,20 +67,30 @@ class WaveReport:
     #: Seconds the registry uplink spent carrying ≥1 transfer.
     uplink_busy_s: float
 
+    def _latency_percentile(self, q: float) -> float:
+        """Empty-wave sentinel: a wave that deployed nothing (zero
+        clients, or every client shed) reports 0.0 rather than raising
+        :class:`~repro.common.stats.EmptySampleError` mid-report."""
+        if not self.latencies_s:
+            return 0.0
+        return percentile(self.latencies_s, q)
+
     @property
     def p50_s(self) -> float:
-        return percentile(self.latencies_s, 50)
+        return self._latency_percentile(50)
 
     @property
     def p95_s(self) -> float:
-        return percentile(self.latencies_s, 95)
+        return self._latency_percentile(95)
 
     @property
     def p99_s(self) -> float:
-        return percentile(self.latencies_s, 99)
+        return self._latency_percentile(99)
 
     @property
     def mean_s(self) -> float:
+        if not self.latencies_s:
+            return 0.0
         return sum(self.latencies_s) / len(self.latencies_s)
 
     @property
@@ -125,8 +142,12 @@ class Cluster:
         self.registry_uplink_mbps = registry_uplink_mbps or bandwidth_mbps
         self.nodes: List[ClientNode] = []
         for index in range(node_count):
-            testbed = self._root.fresh_client()
-            self.nodes.append(ClientNode(name=f"node-{index:03d}", testbed=testbed))
+            self.nodes.append(self._build_node(index))
+
+    def _build_node(self, index: int) -> ClientNode:
+        """Mint node ``index`` (subclasses swap in edge-aware clients)."""
+        testbed = self._root.fresh_client()
+        return ClientNode(name=f"node-{index:03d}", testbed=testbed)
 
     @property
     def clock(self) -> SimClock:
@@ -376,4 +397,241 @@ class HACluster(Cluster):
             demotions=delta["demotions"],
             degraded=degraded_total[0],
             probes=sum(r.stats.probes for r in replicas) - probes_before,
+        )
+
+
+@dataclass(frozen=True)
+class EdgeWaveReport(WaveReport):
+    """A wave over the edge fabric: peer-tier and adversity accounting.
+
+    ``egress_bytes`` (inherited) counts *registry* egress only — site
+    links keep their own transfer logs — so the WAN savings the peer tier
+    buys are directly visible.  ``lan_bytes``/``lan_busy_s`` account the
+    intra-site traffic that replaced it.
+    """
+
+    fetches: int = 0
+    peer_hits: int = 0
+    site_hits: int = 0
+    registry_fetches: int = 0
+    peer_bytes: int = 0
+    site_bytes: int = 0
+    egress_saved_bytes: int = 0
+    stale_resolutions: int = 0
+    failovers: int = 0
+    backoffs: int = 0
+    giveups: int = 0
+    breaker_skips: int = 0
+    blacklists: int = 0
+    peer_crashes: int = 0
+    joins: int = 0
+    leaves: int = 0
+    gossip_rounds: int = 0
+    #: Deployments that fell back to degraded Docker-pull mode.
+    degraded: int = 0
+    #: Intra-site (LAN) traffic during the wave, across all sites.
+    lan_bytes: int = 0
+    lan_busy_s: float = 0.0
+
+    @property
+    def peer_hit_rate(self) -> float:
+        return self.peer_hits / self.fetches if self.fetches else 0.0
+
+    @property
+    def offload_rate(self) -> float:
+        """Fraction of chain fetches the registry never saw."""
+        if not self.fetches:
+            return 0.0
+        return (self.peer_hits + self.site_hits) / self.fetches
+
+    def as_dict(self) -> Dict[str, object]:
+        summary = super().as_dict()
+        summary.update(
+            {
+                "fetches": self.fetches,
+                "peer_hits": self.peer_hits,
+                "peer_hit_rate": self.peer_hit_rate,
+                "site_hits": self.site_hits,
+                "offload_rate": self.offload_rate,
+                "registry_fetches": self.registry_fetches,
+                "peer_bytes": self.peer_bytes,
+                "site_bytes": self.site_bytes,
+                "egress_saved_bytes": self.egress_saved_bytes,
+                "stale_resolutions": self.stale_resolutions,
+                "failovers": self.failovers,
+                "backoffs": self.backoffs,
+                "giveups": self.giveups,
+                "breaker_skips": self.breaker_skips,
+                "blacklists": self.blacklists,
+                "peer_crashes": self.peer_crashes,
+                "joins": self.joins,
+                "leaves": self.leaves,
+                "gossip_rounds": self.gossip_rounds,
+                "degraded": self.degraded,
+                "lan_bytes": self.lan_bytes,
+                "lan_busy_s": self.lan_busy_s,
+            }
+        )
+        return summary
+
+
+class EdgeCluster(Cluster):
+    """A cluster whose nodes peer-serve Gear files within edge sites.
+
+    Nodes are minted through the fabric (each gets an
+    :class:`~repro.net.edge.EdgeTransport` and joins a site round-robin),
+    so node ``i``'s peer name is its node name.  The adversity menu is
+    declared up front and injected deterministically during
+    :meth:`deploy_wave`:
+
+    * ``churn_rate_per_s`` — seeded join/leave schedule over
+      ``churn_horizon_s`` (at least one peer always stays online);
+    * ``byzantine`` — node indices that serve corrupt bytes;
+    * ``crash_node`` — node index whose peer crashes mid-serve on its
+      ``crash_op_index``-th serve (a :class:`~repro.net.faults.CrashPlan`
+      at ``MID_FETCH``).
+    """
+
+    def __init__(
+        self,
+        node_count: int,
+        *,
+        bandwidth_mbps: float = 904.0,
+        registry_uplink_mbps: Optional[float] = None,
+        churn_rate_per_s: float = 0.0,
+        churn_horizon_s: float = 10.0,
+        byzantine: Tuple[int, ...] = (),
+        crash_node: Optional[int] = None,
+        crash_op_index: int = 0,
+        crash_partial_fraction: float = 0.5,
+        seed: str = "edge",
+        **edge_kwargs: Any,
+    ) -> None:
+        root = make_edge_testbed(
+            bandwidth_mbps=bandwidth_mbps, seed=seed, **edge_kwargs
+        )
+        super().__init__(
+            node_count,
+            bandwidth_mbps=bandwidth_mbps,
+            registry_uplink_mbps=registry_uplink_mbps,
+            root=root,
+        )
+        fabric = root.edge
+        assert fabric is not None
+        self.fabric = fabric
+        self.seed = seed
+        for index in byzantine:
+            fabric.peers[index].byzantine = True
+        if crash_node is not None:
+            fabric.peers[crash_node].arm_crash(
+                root.clock,
+                CrashPlan(
+                    point=CrashPoint.MID_FETCH,
+                    seed=seed,
+                    op_index=crash_op_index,
+                    partial_fraction=crash_partial_fraction,
+                ),
+            )
+        schedule = ChurnSchedule.generate(
+            [node.name for node in self.nodes],
+            seed=seed,
+            rate_per_s=churn_rate_per_s,
+            horizon_s=churn_horizon_s,
+        )
+        self.churn = ChurnDriver(fabric, schedule)
+
+    def _build_node(self, index: int) -> ClientNode:
+        name = f"node-{index:03d}"
+        return ClientNode(name=name, testbed=self._root.edge.client(name))
+
+    def deploy_wave(
+        self,
+        action: Callable[[ClientNode], Any],
+        *,
+        concurrency: Optional[int] = None,
+    ) -> EdgeWaveReport:
+        """Concurrent waves with gossip and churn running alongside.
+
+        Per-site gossip loops and the churn driver are scheduler
+        processes; like the HA health monitor they are stopped after the
+        last client completes and the heap drained, with the makespan
+        measured to the last client completion.
+        """
+        if concurrency is None:
+            concurrency = len(self.nodes)
+        if concurrency <= 0:
+            raise ValueError("concurrency must be positive")
+        clock = self.clock
+        fabric = self.fabric
+        stats = fabric.stats
+        before = stats.as_dict()
+        egress_before = self.registry_egress_bytes
+        uplink_busy_before = self._root.link.busy_seconds
+        lan_links = fabric.lan_links()
+        lan_bytes_before = sum(link.log.total_bytes for link in lan_links)
+        lan_busy_before = sum(link.busy_seconds for link in lan_links)
+        start = clock.now
+        latencies: Dict[str, float] = {}
+        finished_at: List[float] = []
+        degraded_total = [0]
+
+        def client(node: ClientNode) -> None:
+            begun = clock.now
+            with clock.span("client_deploy", node=node.name):
+                outcome = action(node)
+            latencies[node.name] = clock.now - begun
+            finished_at.append(clock.now)
+            if outcome is not None and getattr(outcome, "degraded", False):
+                degraded_total[0] += 1
+
+        with clock.span("wave", concurrency=concurrency):
+            with SimScheduler(clock) as scheduler:
+                for site in fabric.sites:
+                    site.start_gossip(scheduler)
+                self.churn.start(scheduler)
+                for offset in range(0, len(self.nodes), concurrency):
+                    batch = [
+                        scheduler.spawn(client, node, name=node.name)
+                        for node in self.nodes[offset:offset + concurrency]
+                    ]
+                    for process in batch:
+                        scheduler.run_until(process)
+                for site in fabric.sites:
+                    site.stop_gossip()
+                self.churn.stop()
+                scheduler.run()
+
+        after = stats.as_dict()
+        delta = {key: after[key] - before[key] for key in after}
+        return EdgeWaveReport(
+            concurrency=concurrency,
+            latencies_s=tuple(latencies[node.name] for node in self.nodes),
+            makespan_s=(max(finished_at) - start) if finished_at else 0.0,
+            egress_bytes=self.registry_egress_bytes - egress_before,
+            uplink_busy_s=self._root.link.busy_seconds - uplink_busy_before,
+            fetches=delta["fetches"],
+            peer_hits=delta["peer_hits"],
+            site_hits=delta["site_hits"],
+            registry_fetches=delta["registry_fetches"],
+            peer_bytes=delta["peer_bytes"],
+            site_bytes=delta["site_bytes"],
+            egress_saved_bytes=delta["egress_saved_bytes"],
+            stale_resolutions=delta["stale_resolutions"],
+            failovers=delta["failovers"],
+            backoffs=delta["backoffs"],
+            giveups=delta["giveups"],
+            breaker_skips=delta["breaker_skips"],
+            blacklists=delta["blacklists"],
+            peer_crashes=delta["peer_crashes"],
+            joins=delta["joins"],
+            leaves=delta["leaves"],
+            gossip_rounds=delta["gossip_rounds"],
+            degraded=degraded_total[0],
+            lan_bytes=(
+                sum(link.log.total_bytes for link in lan_links)
+                - lan_bytes_before
+            ),
+            lan_busy_s=(
+                sum(link.busy_seconds for link in lan_links) - lan_busy_before
+            ),
         )

@@ -163,3 +163,113 @@ class TestMarkEpochGuard:
         assert report.skipped_recent == 0
         assert orphan.identity in report.deleted_identities
         assert not gear_registry.query(orphan.identity)
+
+
+class TestGcVsEdgeDeploy:
+    """GC racing a concurrent *peer-served* deploy (edge tier).
+
+    Two hazards: (1) a collection pass runs while a peer is mid-serve of
+    a freshly pushed file whose index is still in flight — the mark
+    epoch must spare it so the deploy's registry fallback still
+    resolves; (2) a sweep plus churn removes a fingerprint from the
+    registry *and* its last holder from the site — the tracker must not
+    stay pointed at it.
+    """
+
+    def _edge_env(self, small_corpus):
+        from repro.bench.environment import make_edge_testbed, publish_images
+
+        root = make_edge_testbed()
+        generated = small_corpus.by_series["nginx"][0]
+        publish_images(root, [generated], convert=True)
+        return root, generated
+
+    def test_mark_epoch_keeps_mid_serve_file_alive(
+        self, small_corpus, monkeypatch
+    ):
+        import repro.gear.gc as gc_module
+        from repro.bench.deploy import deploy_with_gear
+        from repro.blob import Blob
+        from repro.gear.gearfile import GearFile
+
+        root, generated = self._edge_env(small_corpus)
+        first = root.edge.client()
+        deploy_with_gear(first, generated)
+        root.edge.gossip()
+
+        # A new image version is mid-push: its Gear files land before
+        # the index that will reference them (§III-C).
+        racer = GearFile.from_blob(Blob.synthetic("in-flight-push", 800))
+        second = root.edge.client()
+        real_mark = gc_module.live_identities
+        served_before = root.edge.stats.peer_hits
+
+        def racing_mark(registry):
+            # Both races fire while the mark walks manifests: the push
+            # completes its file upload, and a peer-served deploy runs.
+            root.gear_registry.upload(racer)
+            deploy_with_gear(second, generated)
+            return real_mark(registry)
+
+        monkeypatch.setattr(gc_module, "live_identities", racing_mark)
+        report = gc_module.collect_garbage(
+            root.docker_registry, root.gear_registry
+        )
+
+        # The in-flight upload was spared, not reclaimed.
+        assert report.skipped_recent == 1
+        assert racer.identity not in report.deleted_identities
+        assert root.gear_registry.query(racer.identity)
+        # The peer-served deploy completed mid-GC and nothing it read
+        # was collected out from under it.
+        assert root.edge.stats.peer_hits > served_before
+        live = gc_module.live_identities(root.docker_registry)
+        for identity in live:
+            assert root.gear_registry.query(identity)
+        assert root.edge.audit_integrity() == []
+
+    def test_sweep_during_churn_never_strands_tracker(self, small_corpus):
+        from repro.bench.deploy import deploy_with_gear
+        from repro.bench.environment import publish_images
+
+        root, generated = self._edge_env(small_corpus)
+        keeper = small_corpus.by_series["tomcat"][0]
+        publish_images(root, [keeper], convert=True)
+
+        first = root.edge.client()
+        deploy_with_gear(first, generated)
+        second = root.edge.client()
+        deploy_with_gear(second, keeper)
+        root.edge.gossip()
+
+        # The operator retires the nginx image; its now-unreferenced
+        # files are swept from the registry while peers still hold and
+        # advertise cached copies.
+        root.docker_registry.delete_manifest(
+            generated.reference.replace(":", ".gear:")
+        )
+        report = collect_garbage(root.docker_registry, root.gear_registry)
+        collected = set(report.deleted_identities)
+        assert collected
+
+        site = root.edge.sites[0]
+        # Cached copies keep the tracker entries alive for now — that is
+        # fine, a peer can still serve what it physically holds.
+        still_tracked = collected & set(site.tracker.identities())
+        assert still_tracked
+
+        # Churn takes the holder away; the next gossip refresh must drop
+        # every entry no online peer can back.
+        root.edge.peers[0].online = False
+        root.edge.gossip()
+        for identity in site.tracker.identities():
+            holders = site.tracker.resolve(identity)
+            assert holders, identity
+            for name in holders:
+                peer = site.peer(name)
+                assert peer.online and peer.holds(identity)
+        # In particular nothing collected-and-unheld is still advertised.
+        for identity in collected:
+            for name in site.tracker.resolve(identity):
+                assert site.peer(name).online
+                assert site.peer(name).holds(identity)
