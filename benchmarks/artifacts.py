@@ -64,6 +64,14 @@ CLI_SCENARIOS = {
         "edge", "--series", "nginx", "--versions", "2", "--scale", "0.2",
         "--target", "nginx", "--clients", "8", "--edge-seed", "11", "--json",
     ],
+    # The perf command's JSON carries only deterministic simulation
+    # fields (events, virtual seconds, modeled bytes) plus the recorded
+    # pre-refactor baseline; wall-clock throughput never enters the
+    # artifact, so it stays byte-stable across machines.
+    "speed": [
+        "perf", "--scale", "0.2", "--clients", "256", "--transfers", "4",
+        "--wave-clients", "64", "--json",
+    ],
 }
 
 

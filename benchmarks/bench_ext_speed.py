@@ -1,0 +1,102 @@
+"""Extension: simulator throughput — the speed the paper-scale runs need.
+
+The fleet/contention/edge extensions all push the discrete-event core to
+thousands of concurrent clients; what bounds them is events/sec of the
+simulator itself, not anything in the Gear model.  This extension gates
+that speed:
+
+* **microflows** — the core's ceiling (scheduler + fair-share link, no
+  Gear stack) at the standard 1024x4 shape, in both execution modes.
+  The generator mode must clear ``SPEEDUP_GATE`` (5x) over the recorded
+  pre-refactor baseline, and both modes must report byte-identical
+  deterministic fields (the cross-mode equivalence the refactor keeps);
+* **deploy_wave** — the standard 1024-client Gear fleet wave must finish
+  inside a 10 s wall-clock budget (the bound the speed arc was sized
+  against; QUICK runs a 256-client wave with a proportional budget).
+
+Wall-clock numbers are printed for the operator but only the simulated
+fields are asserted deterministically; the throughput gates compare
+against fixed in-repo baselines so a core regression fails loudly here
+before it slows every other benchmark.
+"""
+
+from repro.bench.reporting import format_table
+from repro.bench.speed import (
+    BASELINE_MICROFLOW_EVENTS_PER_S,
+    MICROFLOW_CLIENTS,
+    SPEEDUP_GATE,
+    run_deploy_wave,
+    run_microflows,
+)
+
+from conftest import QUICK, run_once
+
+#: Fleet size for the wall-clock budget check.
+WAVE_CLIENTS = 256 if QUICK else 1024
+
+#: Wall budget for the wave: 10 s at 1024 clients (the speed-arc
+#: acceptance bar), scaled linearly for the QUICK fleet.
+WAVE_WALL_BUDGET_S = 10.0 * WAVE_CLIENTS / 1024
+
+
+def test_ext_speed_microflow_throughput(benchmark):
+    def sweep():
+        return {mode: run_microflows(mode=mode) for mode in ("thread", "gen")}
+
+    reports = run_once(benchmark, sweep)
+
+    print(f"\nExtension — simulator core throughput ({MICROFLOW_CLIENTS} flows)")
+    print(
+        format_table(
+            ["Mode", "Events", "Virtual (s)", "Sim MB", "Wall (s)", "Events/s"],
+            [
+                (
+                    mode,
+                    str(r.events),
+                    f"{r.virtual_s:.3f}",
+                    f"{r.simulated_bytes / 1e6:.1f}",
+                    f"{r.wall_s:.3f}",
+                    f"{r.events_per_s:,.0f}",
+                )
+                for mode, r in reports.items()
+            ],
+        )
+    )
+    baseline = BASELINE_MICROFLOW_EVENTS_PER_S
+    speedup = reports["gen"].events_per_s / baseline
+    print(
+        f"gen-mode speedup over recorded pre-refactor baseline "
+        f"({baseline:,.0f} ev/s): {speedup:.1f}x (gate {SPEEDUP_GATE:g}x)"
+    )
+
+    # Cross-mode equivalence: generator and thread execution replay the
+    # same schedule, so every deterministic field must match exactly.
+    gen, thread = reports["gen"].deterministic(), reports["thread"].deterministic()
+    del gen["mode"], thread["mode"]
+    assert gen == thread
+    # The regression gate proper: the refactored core must hold >= 5x the
+    # recorded pre-refactor throughput on the identical scenario.
+    assert reports["gen"].events_per_s >= SPEEDUP_GATE * baseline
+    # Determinism: a second identical run replays byte-identically.
+    again = run_microflows(mode="gen").deterministic()
+    assert again == reports["gen"].deterministic()
+
+
+def test_ext_speed_deploy_wave_wall(benchmark):
+    report = run_once(benchmark, lambda: run_deploy_wave(WAVE_CLIENTS))
+
+    print(
+        f"\nExtension — {WAVE_CLIENTS}-client Gear deploy wave: "
+        f"wall={report.wall_s:.2f} s (budget {WAVE_WALL_BUDGET_S:.1f} s), "
+        f"makespan={report.virtual_s:.3f} s virtual, "
+        f"{report.events_per_s:,.0f} events/s, "
+        f"{report.simulated_bytes_per_s / 1e6:,.0f} simulated MB/s"
+    )
+    # Every client deployed: the wave moved real bytes and virtual time.
+    assert report.events > WAVE_CLIENTS
+    assert report.simulated_bytes > 0
+    assert report.virtual_s > 0
+    # The speed-arc wall budget: 1024 clients inside 10 s (scaled under
+    # QUICK).  A generous bound relative to current performance, so only
+    # a genuine core regression trips it, not machine noise.
+    assert report.wall_s <= WAVE_WALL_BUDGET_S

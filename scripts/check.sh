@@ -99,6 +99,27 @@ python -m repro.cli edge --series nginx --versions 2 --scale 0.2 \
     --target nginx --equivalence --json > "$fleet_tmp/edge-equiv.json"
 echo "peer-less edge run identical to single-tier testbed"
 
+echo "== simulator speed gate =="
+# The perf command exits 1 on cross-mode or double-run drift of the
+# deterministic fields; the floor below additionally catches a gross
+# core regression (the recorded pre-refactor baseline was ~17k events/s;
+# the refactored generator mode runs >150k, so 60k trips only on a real
+# slowdown, not machine noise).
+python -m repro.cli perf --scale 0.2 --json > "$fleet_tmp/perf.json"
+python - "$fleet_tmp/perf.json" <<'EOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["ok"], "perf determinism gates failed"
+from repro.bench.speed import run_microflows
+events_per_s = run_microflows(mode="gen").events_per_s
+floor = 60_000.0
+if events_per_s < floor:
+    sys.exit(f"simulator core regressed: {events_per_s:,.0f} events/s "
+             f"< {floor:,.0f} floor")
+print(f"gen-mode microflows: {events_per_s:,.0f} events/s (floor 60,000)")
+EOF
+echo "simulator speed gate passed"
+
 echo "== perf-trajectory artifacts =="
 # Regenerate the checked-in BENCH_ext_*.json artifacts; a PR that moves
 # any simulated number must commit the refreshed artifacts with it.

@@ -1,0 +1,194 @@
+"""Simulator throughput harness: events/sec on canonical scenarios.
+
+The paper-scale experiments (Fig. 9 fleets, the contention sweep, the
+edge waves) are bounded by how fast the discrete-event core executes,
+not by anything in the Gear model itself.  This module pins down that
+speed with two canonical scenarios and a report type that keeps the
+*deterministic* simulation outputs (event counts, virtual seconds,
+modeled bytes — byte-identical run to run) strictly separate from the
+*wall-clock* throughput numbers (events/sec — machine-dependent, never
+checked into artifacts):
+
+* **microflows** — N clients alternate a seeded think time with a seeded
+  transfer on one shared fair-share link.  Pure scheduler + link-model
+  work, no Gear stack, so its events/sec is the core's ceiling.  Runs in
+  ``gen`` mode (generator processes parked directly on the event heap)
+  or ``thread`` mode (strict-handoff worker threads); both must produce
+  identical deterministic fields — the cross-mode equivalence the
+  refactor preserves.
+* **deploy_wave** — the standard fleet scenario (``Cluster`` +
+  ``deploy_with_gear`` on the nginx corpus at 100 Mbps), the workload
+  the 1024-client wall-clock budget in ``benchmarks/bench_ext_speed.py``
+  is written against.
+
+Baseline constants below record the pre-refactor core's throughput so
+the regression gate has a fixed, in-repo anchor.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Tuple
+
+from repro.common.clock import SimClock, SimScheduler
+from repro.common.rng import rng_for
+from repro.net.link import Link
+
+#: Throughput of the pre-refactor simulator core (thread-only handoffs,
+#: per-event heap objects, O(flows) link-rate recomputation) on the
+#: microflows scenario at its standard shape (1024 clients x 4 transfers
+#: @ 200 Mbps): 17,407 scheduled events in ~1.02 s of wall clock on the
+#: reference machine — about 17k events/sec.  Recorded once, kept as the
+#: fixed anchor for the >=5x regression gate.
+BASELINE_MICROFLOW_EVENTS_PER_S = 17_000.0
+
+#: The speed-arc acceptance bar: the refactored core must clear this
+#: multiple of the recorded baseline on the same scenario.
+SPEEDUP_GATE = 5.0
+
+#: Standard microflows shape (matches the recorded baseline).
+MICROFLOW_CLIENTS = 1024
+MICROFLOW_TRANSFERS = 4
+MICROFLOW_BANDWIDTH_MBPS = 200.0
+
+
+@dataclass(frozen=True)
+class SpeedReport:
+    """One scenario run: deterministic outputs + wall-clock throughput."""
+
+    scenario: str
+    mode: str
+    clients: int
+    events: int
+    virtual_s: float
+    simulated_bytes: int
+    wall_s: float
+
+    @property
+    def events_per_s(self) -> float:
+        return self.events / self.wall_s if self.wall_s > 0 else 0.0
+
+    @property
+    def simulated_bytes_per_s(self) -> float:
+        return self.simulated_bytes / self.wall_s if self.wall_s > 0 else 0.0
+
+    def deterministic(self) -> Dict[str, object]:
+        """The replayable fields — byte-identical across runs/machines."""
+        return {
+            "scenario": self.scenario,
+            "mode": self.mode,
+            "clients": self.clients,
+            "events": self.events,
+            "virtual_s": round(self.virtual_s, 6),
+            "simulated_bytes": self.simulated_bytes,
+        }
+
+    def timing(self) -> Dict[str, float]:
+        """Wall-clock throughput — machine-dependent, never an artifact."""
+        return {
+            "wall_s": self.wall_s,
+            "events_per_s": self.events_per_s,
+            "simulated_bytes_per_s": self.simulated_bytes_per_s,
+        }
+
+
+def _microflow_plans(
+    clients: int, transfers: int
+) -> List[Tuple[List[int], List[float]]]:
+    """Seeded per-client (transfer sizes, think times) — scenario input."""
+    rng = rng_for("bench-speed", str(clients), str(transfers))
+    plans = []
+    for _ in range(clients):
+        sizes = [rng.randrange(65536, 2_097_152) for _ in range(transfers)]
+        thinks = [rng.random() * 0.2 for _ in range(transfers)]
+        plans.append((sizes, thinks))
+    return plans
+
+
+def run_microflows(
+    clients: int = MICROFLOW_CLIENTS,
+    transfers: int = MICROFLOW_TRANSFERS,
+    *,
+    mode: str = "gen",
+    bandwidth_mbps: float = MICROFLOW_BANDWIDTH_MBPS,
+) -> SpeedReport:
+    """N clients think + transfer on one shared link; pure core work."""
+    if mode not in ("gen", "thread"):
+        raise ValueError(f"unknown mode {mode!r}; want 'gen' or 'thread'")
+    clock = SimClock()
+    link = Link(clock, bandwidth_mbps=bandwidth_mbps)
+    plans = _microflow_plans(clients, transfers)
+
+    def client_call(sizes: List[int], thinks: List[float]) -> None:
+        for size, think in zip(sizes, thinks):
+            clock.advance(think, "think")
+            link.transfer(size)
+
+    def client_gen(sizes: List[int], thinks: List[float]) -> Iterator[object]:
+        for size, think in zip(sizes, thinks):
+            yield think
+            clock.note("think")
+            yield from link.transfer_gen(size)
+
+    target = client_gen if mode == "gen" else client_call
+    with SimScheduler(clock) as scheduler:
+        begun = time.perf_counter()
+        for index, (sizes, thinks) in enumerate(plans):
+            scheduler.spawn(target, sizes, thinks, name=f"flow-{index:04d}")
+        scheduler.run()
+        wall = time.perf_counter() - begun
+        events = scheduler.events_processed
+    return SpeedReport(
+        scenario="microflows",
+        mode=mode,
+        clients=clients,
+        events=events,
+        virtual_s=clock.now,
+        simulated_bytes=link.log.total_bytes,
+        wall_s=wall,
+    )
+
+
+def run_deploy_wave(
+    clients: int = 64,
+    *,
+    bandwidth_mbps: float = 100.0,
+    scale: float = 0.2,
+    seed: int = 7,
+) -> SpeedReport:
+    """The standard Gear fleet wave (nginx corpus, shared 100 Mbps uplink)."""
+    # Imported here so the microflows path stays importable without the
+    # whole Gear stack.
+    from repro.bench.deploy import deploy_with_gear
+    from repro.bench.environment import publish_images
+    from repro.net.topology import Cluster
+    from repro.workloads.corpus import CorpusBuilder, CorpusConfig
+
+    corpus = CorpusBuilder(
+        CorpusConfig(
+            seed=seed,
+            file_scale=scale,
+            size_scale=scale,
+            series_names=("nginx",),
+            versions_cap=1,
+        )
+    ).build()
+    target = corpus.by_series["nginx"][0]
+    cluster = Cluster(clients, bandwidth_mbps=bandwidth_mbps)
+    publish_images(cluster.registry_testbed, [target], convert=True)
+    egress_before = cluster.registry_egress_bytes
+    begun = time.perf_counter()
+    cluster.deploy_wave(
+        lambda node: deploy_with_gear(node.testbed, target) and None
+    )
+    wall = time.perf_counter() - begun
+    return SpeedReport(
+        scenario="deploy_wave",
+        mode="thread",
+        clients=clients,
+        events=cluster.last_wave_events,
+        virtual_s=cluster.clock.now,
+        simulated_bytes=cluster.registry_egress_bytes - egress_before,
+        wall_s=wall,
+    )

@@ -64,12 +64,15 @@ class Chunk:
 class Blob:
     """The content of one regular file, as an ordered chunk sequence."""
 
-    __slots__ = ("_chunks", "_size", "_fingerprint")
+    __slots__ = ("_chunks", "_size", "_fingerprint", "_compressed_size")
 
     def __init__(self, chunks: Sequence[Chunk]) -> None:
         self._chunks: Tuple[Chunk, ...] = tuple(chunks)
         self._size = sum(chunk.size for chunk in self._chunks)
         self._fingerprint: Optional[Fingerprint] = None
+        # Lazily filled by repro.blob.compressibility; blobs are
+        # immutable, so the modelled compressed size never changes.
+        self._compressed_size: Optional[int] = None
 
     # -- constructors ---------------------------------------------------
 

@@ -20,6 +20,8 @@ content.
 
 from __future__ import annotations
 
+from functools import lru_cache
+
 from repro.blob.blob import Blob, Chunk
 from repro.common.hashing import stable_unit_interval
 
@@ -34,8 +36,13 @@ _CLASSES = (
 )
 
 
+@lru_cache(maxsize=65536)
 def chunk_compressibility(seed: str) -> float:
-    """Compressibility ratio in (0, 1] for the chunk with this seed."""
+    """Compressibility ratio in (0, 1] for the chunk with this seed.
+
+    Pure in ``seed`` (two stable hashes), so it is memoized: archive
+    sizing revisits the same corpus chunks once per node in a fleet.
+    """
     class_point = stable_unit_interval("compress-class", seed)
     cumulative = 0.0
     for weight, lo, hi in _CLASSES:
@@ -57,5 +64,13 @@ def chunk_compressed_size(chunk: Chunk) -> int:
 
 
 def blob_compressed_size(blob: Blob) -> int:
-    """Compressed size of a whole blob (sum of its chunks)."""
-    return sum(chunk_compressed_size(chunk) for chunk in blob.chunks)
+    """Compressed size of a whole blob (sum of its chunks).
+
+    Cached on the (immutable) blob: registry sizing and wire accounting
+    ask for the same blobs once per node in a fleet.
+    """
+    cached = blob._compressed_size
+    if cached is None:
+        cached = sum(chunk_compressed_size(chunk) for chunk in blob.chunks)
+        blob._compressed_size = cached
+    return cached

@@ -22,6 +22,9 @@ Commands:
   exits nonzero on any integrity violation or degraded fallback.
   ``--equivalence`` instead checks a zero-churn single-node edge run is
   byte- and time-identical to the single-tier testbed;
+* ``perf``     — simulator throughput: events/sec on the canonical
+  microflow and deploy-wave scenarios, with cross-mode equivalence and
+  double-run determinism gates (exit 1 on drift);
 * ``catalog``  — list the Table I series catalog.
 
 All commands run entirely in-process on the simulated testbed; sizes and
@@ -753,6 +756,108 @@ def cmd_trace(args) -> int:
     return 0 if ok else 1
 
 
+def cmd_perf(args) -> int:
+    """Simulator throughput check: microflows + a small deploy wave.
+
+    Runs the canonical speed scenarios from :mod:`repro.bench.speed`,
+    prints the events/sec table, and gates on two invariants (exit 1 on
+    either failing):
+
+    * **cross-mode equivalence** — generator and thread execution of the
+      microflows scenario must report identical deterministic fields
+      (events, virtual seconds, simulated bytes);
+    * **double-run determinism** — re-running each scenario must replay
+      those fields byte-identically.
+
+    ``--json`` emits only the deterministic fields (plus the recorded
+    pre-refactor baseline), so the output is artifact-stable; wall-clock
+    throughput goes to the human-readable table alone.
+    """
+    from repro.bench.speed import (
+        BASELINE_MICROFLOW_EVENTS_PER_S,
+        run_deploy_wave,
+        run_microflows,
+    )
+
+    reports = {
+        ("microflows", mode): run_microflows(args.clients, args.transfers,
+                                             mode=mode,
+                                             bandwidth_mbps=args.bandwidth)
+        for mode in ("thread", "gen")
+    }
+    reports[("deploy_wave", "thread")] = run_deploy_wave(
+        args.wave_clients, scale=args.scale, seed=args.seed
+    )
+
+    ok = True
+    problems = []
+    gen = reports[("microflows", "gen")].deterministic()
+    thread = reports[("microflows", "thread")].deterministic()
+    gen.pop("mode"), thread.pop("mode")
+    if gen != thread:
+        ok = False
+        problems.append(f"cross-mode drift: gen={gen} thread={thread}")
+    for (scenario, mode), report in list(reports.items()):
+        if scenario == "microflows":
+            again = run_microflows(args.clients, args.transfers, mode=mode,
+                                   bandwidth_mbps=args.bandwidth)
+        else:
+            again = run_deploy_wave(args.wave_clients, scale=args.scale,
+                                    seed=args.seed)
+        if again.deterministic() != report.deterministic():
+            ok = False
+            problems.append(
+                f"double-run drift in {scenario}/{mode}: "
+                f"{again.deterministic()} != {report.deterministic()}"
+            )
+
+    if args.json:
+        payload = {
+            "scenarios": [
+                report.deterministic() for report in reports.values()
+            ],
+            "baseline_microflow_events_per_s": BASELINE_MICROFLOW_EVENTS_PER_S,
+            "ok": ok,
+        }
+        print(json.dumps(payload, sort_keys=True))
+    else:
+        print(
+            f"simulator throughput — microflows {args.clients}x"
+            f"{args.transfers} @ {args.bandwidth:g} Mbps, "
+            f"deploy wave {args.wave_clients} clients"
+        )
+        print(
+            format_table(
+                ["Scenario", "Mode", "Events", "Virtual (s)", "Sim MB",
+                 "Wall (s)", "Events/s"],
+                [
+                    (
+                        scenario,
+                        mode,
+                        str(r.events),
+                        f"{r.virtual_s:.3f}",
+                        f"{r.simulated_bytes / 1e6:.1f}",
+                        f"{r.wall_s:.3f}",
+                        f"{r.events_per_s:,.0f}",
+                    )
+                    for (scenario, mode), r in reports.items()
+                ],
+            )
+        )
+        speedup = (
+            reports[("microflows", "gen")].events_per_s
+            / BASELINE_MICROFLOW_EVENTS_PER_S
+        )
+        print(
+            f"gen-mode microflows: {speedup:.1f}x the recorded "
+            f"pre-refactor baseline "
+            f"({BASELINE_MICROFLOW_EVENTS_PER_S:,.0f} ev/s)"
+        )
+        for problem in problems:
+            print(f"perf gate FAILED: {problem}", file=sys.stderr)
+    return 0 if ok else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (shared options on every command)."""
     common = argparse.ArgumentParser(add_help=False)
@@ -896,6 +1001,21 @@ def build_parser() -> argparse.ArgumentParser:
                            "single-tier testbed")
     edge.add_argument("--json", action="store_true",
                       help="emit the report as one JSON line")
+    perf = sub.add_parser(
+        "perf", parents=[common],
+        help="simulator throughput: events/sec on canonical scenarios",
+    )
+    perf.add_argument("--clients", type=int, default=256,
+                      help="microflow clients (1024 = the benchmark shape)")
+    perf.add_argument("--transfers", type=int, default=4,
+                      help="transfers per microflow client")
+    perf.add_argument("--bandwidth", type=float, default=200.0,
+                      help="shared microflow link bandwidth in Mbps")
+    perf.add_argument("--wave-clients", type=int, default=64,
+                      help="clients in the Gear deploy-wave scenario")
+    perf.add_argument("--json", action="store_true",
+                      help="emit deterministic fields as one JSON line "
+                           "(wall-clock throughput is table-only)")
     trace = sub.add_parser(
         "trace", parents=[common],
         help="trace a Gear deployment; critical path + Chrome trace export",
@@ -936,6 +1056,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_edge(args)
     if args.command == "trace":
         return cmd_trace(args)
+    if args.command == "perf":
+        return cmd_perf(args)
     raise AssertionError("unreachable")
 
 

@@ -35,13 +35,123 @@ Processes come in two flavours:
 from __future__ import annotations
 
 import heapq
+import inspect
 import itertools
 import threading
+import weakref
+from _thread import allocate_lock as _allocate_lock
+from collections import deque
 from typing import Any, Callable, Dict, List, Optional, Tuple
 
 
 class SchedulerError(RuntimeError):
     """The scheduler was asked for something impossible (deadlock, reuse)."""
+
+
+class _Suspend:
+    """Sentinel a generator process yields to park until woken externally.
+
+    Unlike a delay/Process/SimEvent yield, the scheduler registers
+    nothing: whoever handed out the sentinel (e.g. a link flow) is
+    responsible for calling ``SimScheduler._wake`` later.  This is what
+    makes generator-native transfers possible: ``yield SUSPEND`` is the
+    generator equivalent of a call process blocking in ``_suspend``.
+    """
+
+    __slots__ = ()
+
+    def __repr__(self) -> str:
+        return "SUSPEND"
+
+
+#: Shared suspend sentinel (see :class:`_Suspend`).
+SUSPEND = _Suspend()
+
+
+#: Cached ``inspect.isgeneratorfunction`` verdicts.  ``spawn`` is the
+#: hottest constructor in fleet waves; the old per-call ``import
+#: inspect`` paid an import-lock hit per spawn and re-walked the
+#: function object every time.  Bound methods of the same function
+#: compare equal, so repeated spawns of ``node.deploy`` hit the cache.
+_GENFUNC_CACHE: "weakref.WeakKeyDictionary[Any, bool]" = weakref.WeakKeyDictionary()
+
+
+def _is_generator_function(target: Any) -> bool:
+    try:
+        cached = _GENFUNC_CACHE.get(target)
+    except TypeError:  # unhashable targets: no caching possible
+        return inspect.isgeneratorfunction(target)
+    if cached is None:
+        cached = inspect.isgeneratorfunction(target)
+        try:
+            _GENFUNC_CACHE[target] = cached
+        except TypeError:  # not weak-referenceable
+            pass
+    return cached
+
+
+class _Worker:
+    """A reusable strict-handoff worker thread for call processes.
+
+    Creating a fresh daemon thread per call process made ``spawn`` pay
+    thread start-up (and the OS a stack) for every client in a wave.
+    Workers instead park on a private event between jobs and go back to
+    the module pool when a job finishes.  A worker abandoned mid-job
+    (its process suspended when the scheduler was aborted) simply never
+    returns to the pool — exactly the seed semantics of abandoned
+    daemon threads.
+    """
+
+    __slots__ = ("thread", "ident", "_ready", "_job")
+
+    _names = itertools.count()
+
+    def __init__(self) -> None:
+        self._ready = threading.Event()
+        self._job: Optional[Callable[[], None]] = None
+        self.thread = threading.Thread(
+            target=self._main,
+            name=f"sim-worker-{next(_Worker._names)}",
+            daemon=True,
+        )
+        self.thread.start()
+        self.ident = self.thread.ident
+
+    def submit(self, job: Callable[[], None]) -> None:
+        self._job = job
+        self._ready.set()
+
+    def _main(self) -> None:
+        ready = self._ready
+        while True:
+            ready.wait()
+            ready.clear()
+            job, self._job = self._job, None
+            job()
+            _WORKER_POOL.release(self)
+
+
+class _WorkerPool:
+    """Process-wide pool of parked :class:`_Worker` threads."""
+
+    __slots__ = ("_idle", "_lock")
+
+    def __init__(self) -> None:
+        self._idle: List[_Worker] = []
+        self._lock = threading.Lock()
+
+    def acquire(self) -> _Worker:
+        with self._lock:
+            if self._idle:
+                return self._idle.pop()
+        return _Worker()
+
+    def release(self, worker: _Worker) -> None:
+        with self._lock:
+            self._idle.append(worker)
+
+
+_WORKER_POOL = _WorkerPool()
 
 
 class _NullSpan:
@@ -71,6 +181,15 @@ class _NullSpan:
 NULL_SPAN = _NullSpan()
 
 
+def _merge_label(accrued: str, incoming: str) -> str:
+    """Join trace labels of merged (deferred + settling) advances."""
+    if not accrued:
+        return incoming
+    if not incoming:
+        return accrued
+    return f"{accrued}+{incoming}"
+
+
 class SimClock:
     """A monotonically advancing virtual clock with optional telemetry.
 
@@ -89,12 +208,15 @@ class SimClock:
     null span — zero allocation, zero virtual-time cost.
     """
 
-    __slots__ = ("_now", "_scheduler", "_tracer")
+    __slots__ = ("_now", "_scheduler", "_tracer", "_debt", "_debt_label")
 
     def __init__(self, *, trace: bool = False) -> None:
         self._now: float = 0.0
         self._scheduler: Optional["SimScheduler"] = None
         self._tracer: Optional[Any] = None
+        #: Sequential-mode virtual-time debt (see :meth:`advance_deferred`).
+        self._debt: float = 0.0
+        self._debt_label: str = ""
         if trace:
             self.attach_tracer()
 
@@ -159,11 +281,69 @@ class SimClock:
         if scheduler is not None:
             process = scheduler._running_process()
             if process is not None:
+                debt = process._debt
+                if debt:
+                    seconds = debt + seconds
+                    label = _merge_label(process._debt_label, label)
+                    process._debt = 0.0
+                    process._debt_label = ""
                 return scheduler._process_sleep(process, seconds, label)
+        debt = self._debt
+        if debt:
+            seconds = debt + seconds
+            label = _merge_label(self._debt_label, label)
+            self._debt = 0.0
+            self._debt_label = ""
         self._now += seconds
         if self._tracer is not None and label:
             self._tracer.instant(label)
         return self._now
+
+    def advance_deferred(self, seconds: float, label: str = "") -> None:
+        """Accrue ``seconds`` as *virtual-time debt* settled later.
+
+        The debt is folded into the same actor's next :meth:`advance`
+        (one clock movement — and, under a scheduler, one suspension —
+        for the whole run of adjacent cost-model advances) or paid by
+        :meth:`settle_debt` before any interaction that other processes
+        could observe.  Total virtual time is identical to eager
+        advances: settlement adds ``debt + seconds`` in accrual order,
+        and both the sequential and the scheduled path share that
+        arithmetic.  Only use this for back-to-back local costs with no
+        intervening shared-state effects the deferred time should gate.
+        """
+        if seconds < 0:
+            raise ValueError(f"cannot advance clock by {seconds} s")
+        scheduler = self._scheduler
+        if scheduler is not None:
+            process = scheduler._running_process()
+            if process is not None:
+                process._debt += seconds
+                if label:
+                    process._debt_label = _merge_label(
+                        process._debt_label, label
+                    )
+                return
+        self._debt += seconds
+        if label:
+            self._debt_label = _merge_label(self._debt_label, label)
+
+    def settle_debt(self) -> None:
+        """Pay any outstanding deferred advances immediately.
+
+        Called by the shared-state surfaces (link transfers, event
+        waits/fires with waiters, joins, process exit) so deferred local
+        costs can never leak past a point other processes observe.
+        """
+        scheduler = self._scheduler
+        if scheduler is not None:
+            process = scheduler._running_process()
+            if process is not None:
+                if process._debt:
+                    self.advance(0.0)
+                return
+        if self._debt:
+            self.advance(0.0)
 
     def note(self, label: str) -> None:
         """Record a trace event at the current time (when tracing)."""
@@ -225,29 +405,50 @@ class Stopwatch:
 
 
 class _Event:
-    """One heap entry: an action to run at a virtual timestamp."""
+    """One heap entry: an action to run at a virtual timestamp.
 
-    __slots__ = ("time", "seq", "action", "cancelled")
+    ``pooled`` events are scheduler-owned transients (sleeps, wakes,
+    link completions): after they pop, the loop recycles them into a
+    freelist, so the hot path stops allocating an object per suspend.
+    Pooled events may be cancelled only *while pending*; the holder
+    must drop its reference once the event has fired or been cancelled
+    (see :meth:`SimScheduler.schedule_transient`).  Events from the
+    public :meth:`SimScheduler.schedule` are never pooled, so external
+    holders (fault timers, hedge deadlines) can keep references and
+    cancel late, exactly as before.
+    """
 
-    def __init__(self, time: float, seq: int, action: Callable[[], None]) -> None:
+    __slots__ = ("time", "seq", "action", "cancelled", "pooled")
+
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        action: Callable[[], None],
+        pooled: bool = False,
+    ) -> None:
         self.time = time
         self.seq = seq
         self.action = action
         self.cancelled = False
+        self.pooled = pooled
 
     def cancel(self) -> None:
         """Mark the event dead; the loop skips it when popped."""
         self.cancelled = True
 
     def __lt__(self, other: "_Event") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
+        if self.time != other.time:
+            return self.time < other.time
+        return self.seq < other.seq
 
 
 class Process:
     """One schedulable activity: a generator or a thread-backed callable."""
 
     __slots__ = (
-        "scheduler", "name", "_gen", "_thread", "_resume",
+        "scheduler", "name", "_gen", "_ident", "_resume",
+        "_grant_cb", "_step_cb", "_sendval", "_debt", "_debt_label",
         "result", "error", "_done", "_waiters", "started_at", "finished_at",
     )
 
@@ -255,8 +456,20 @@ class Process:
         self.scheduler = scheduler
         self.name = name
         self._gen = None
-        self._thread: Optional[threading.Thread] = None
-        self._resume: Optional[threading.Event] = None
+        self._ident: Optional[int] = None
+        #: Strict-handoff park lock (raw ``_thread`` lock, held while the
+        #: process must stay parked).  A blocked ``acquire`` re-locks on
+        #: wake, so the lock self-arms — no clear/set choreography and a
+        #: fraction of ``threading.Event``'s per-handoff cost.
+        self._resume: Optional[Any] = None
+        #: Pre-bound resume callbacks: one allocation per process, not
+        #: one closure per suspend (the seed model's dominant garbage).
+        self._grant_cb: Optional[Callable[[], None]] = None
+        self._step_cb: Optional[Callable[[], None]] = None
+        self._sendval: Any = None
+        #: Deferred virtual-time debt (see ``SimClock.advance_deferred``).
+        self._debt: float = 0.0
+        self._debt_label: str = ""
         self.result: Any = None
         self.error: Optional[BaseException] = None
         self._done = False
@@ -268,6 +481,16 @@ class Process:
     def done(self) -> bool:
         """True once the process has finished (normally or with an error)."""
         return self._done
+
+    def _grant_now(self) -> None:
+        """Loop-side handoff: unpark this worker, park the loop.
+
+        Bound once at spawn and used directly as the wake event's
+        action — the single hottest callback in thread mode, so it
+        lives on the process (no wrapper lambda frame per handoff).
+        """
+        self._resume.release()
+        self.scheduler._loop_wake.acquire()
 
     def join(self) -> "Process":
         """Wait for this process to finish.
@@ -307,8 +530,12 @@ class SimEvent:
         """Mark the condition true and wake every waiter."""
         if self._fired:
             return
-        self._fired = True
         scheduler = self.clock.scheduler
+        if self._waiters:
+            # Waiters resume at the fire time: pay any deferred local
+            # costs first so they observe settled virtual time.
+            self.clock.settle_debt()
+        self._fired = True
         waiters, self._waiters = self._waiters, []
         if scheduler is not None:
             for process in waiters:
@@ -317,6 +544,9 @@ class SimEvent:
     def wait(self) -> None:
         """Block the calling process until the event fires."""
         if self._fired:
+            return
+        self.clock.settle_debt()
+        if self._fired:  # may have fired while debt settled
             return
         scheduler = self.clock.scheduler
         process = scheduler._running_process() if scheduler else None
@@ -352,17 +582,50 @@ class SimScheduler:
             scheduler.run()
     """
 
+    __slots__ = (
+        "clock", "_heap", "_nowq", "_seq", "_name_seq", "_processes",
+        "_thread_procs", "_loop_wake", "_closed", "_event_pool",
+        "_events_processed", "_current_gen",
+    )
+
     def __init__(self, clock: SimClock) -> None:
         if clock._scheduler is not None:
             raise SchedulerError("clock already has an attached scheduler")
         self.clock = clock
         clock._scheduler = self
-        self._heap: List[_Event] = []
+        # Heap entries are raw ``(time, seq, event)`` tuples: heap
+        # sifting then compares C-level (the float, rarely the int tie
+        # break) instead of calling ``_Event.__lt__`` — at 1024 pending
+        # wakes each pop costs ~10 comparisons, so this is the loop's
+        # single hottest constant.
+        self._heap: List[Tuple[float, int, _Event]] = []
+        #: Zero-delay events in FIFO order.  Wakes and handoffs are
+        #: overwhelmingly scheduled at the current instant; keeping them
+        #: out of the heap turns the dominant push/pop pair into an
+        #: O(1) deque append/popleft (the "simultaneous wakeup batch").
+        #: Heads are merged with the heap by ``(time, seq)``, so event
+        #: order is exactly the seed order.
+        self._nowq: "deque[_Event]" = deque()
         self._seq = itertools.count()
+        #: Monotone spawn counter: default process names must stay
+        #: unique even if ``_processes`` is later compacted.
+        self._name_seq = itertools.count()
         self._processes: List[Process] = []
         self._thread_procs: Dict[int, Process] = {}
-        self._loop_wake = threading.Event()
+        #: Loop-side park lock (same toggle-lock pattern as
+        #: ``Process._resume``): locked while a call process runs.
+        self._loop_wake = _allocate_lock()
+        self._loop_wake.acquire()
         self._closed = False
+        #: Freelist of recycled transient events (see ``_Event``).
+        self._event_pool: List[_Event] = []
+        self._events_processed = 0
+        self._current_gen: Optional[Process] = None
+
+    @property
+    def events_processed(self) -> int:
+        """Events executed so far — the numerator of events/sec."""
+        return self._events_processed
 
     # -- lifecycle ---------------------------------------------------------
 
@@ -386,11 +649,16 @@ class SimScheduler:
         the number of events cancelled.
         """
         cancelled = 0
-        for event in self._heap:
+        for _, _, event in self._heap:
+            if not event.cancelled:
+                event.cancel()
+                cancelled += 1
+        for event in self._nowq:
             if not event.cancelled:
                 event.cancel()
                 cancelled += 1
         self._heap.clear()
+        self._nowq.clear()
         return cancelled
 
     def __enter__(self) -> "SimScheduler":
@@ -402,11 +670,43 @@ class SimScheduler:
     # -- scheduling --------------------------------------------------------
 
     def schedule(self, delay: float, action: Callable[[], None]) -> _Event:
-        """Run ``action`` ``delay`` virtual seconds from now."""
+        """Run ``action`` ``delay`` virtual seconds from now.
+
+        The returned event is owned by the caller: keep it as long as
+        you like and cancel it at any time (before or after it fires).
+        """
         if delay < 0:
             raise ValueError(f"cannot schedule {delay} s in the past")
-        event = _Event(self.clock.now + delay, next(self._seq), action)
-        heapq.heappush(self._heap, event)
+        event = _Event(self.clock._now + delay, next(self._seq), action)
+        if delay == 0.0:
+            self._nowq.append(event)
+        else:
+            heapq.heappush(self._heap, (event.time, event.seq, event))
+        return event
+
+    def schedule_transient(self, delay: float, action: Callable[[], None]) -> _Event:
+        """Schedule a *transient* event (recycled after it pops).
+
+        Contract: the returned event may be cancelled only while it is
+        still pending, and the holder must drop its reference once the
+        event has fired or been cancelled — the scheduler reuses the
+        object for a future event.  Internal machinery (sleeps, wakes,
+        link-flow completions) lives on this path; external holders
+        that keep timers around should use :meth:`schedule`.
+        """
+        pool = self._event_pool
+        if pool:
+            event = pool.pop()
+            event.time = self.clock._now + delay
+            event.seq = next(self._seq)
+            event.action = action
+            event.cancelled = False
+        else:
+            event = _Event(self.clock._now + delay, next(self._seq), action, True)
+        if delay == 0.0:
+            self._nowq.append(event)
+        else:
+            heapq.heappush(self._heap, (event.time, event.seq, event))
         return event
 
     def spawn(self, target: Any, *args: Any, name: str = "", **kwargs: Any) -> Process:
@@ -420,7 +720,9 @@ class SimScheduler:
         """
         if self._closed:
             raise SchedulerError("scheduler is closed")
-        process = Process(self, name or f"proc-{len(self._processes)}")
+        self.clock.settle_debt()  # children start at settled time
+        index = next(self._name_seq)
+        process = Process(self, name or f"proc-{index}")
         self._processes.append(process)
         tracer = self.clock._tracer
         if tracer is not None:
@@ -430,26 +732,23 @@ class SimScheduler:
         generator = None
         if hasattr(target, "send") and hasattr(target, "throw"):
             generator = target
-        else:
-            import inspect
-
-            if inspect.isgeneratorfunction(target):
-                generator = target(*args, **kwargs)
+        elif _is_generator_function(target):
+            generator = target(*args, **kwargs)
         if generator is not None:
             process._gen = generator
-            self.schedule(0.0, lambda: self._step_gen(process, None))
+            process._step_cb = step_cb = (lambda: self._step_gen(process))
+            self.schedule_transient(0.0, step_cb)
         else:
-            process._resume = threading.Event()
-            thread = threading.Thread(
-                target=self._call_process_main,
-                args=(process, target, args, kwargs),
-                name=f"sim:{process.name}",
-                daemon=True,
+            process._resume = resume = _allocate_lock()
+            resume.acquire()  # armed: the worker parks until granted
+            process._grant_cb = grant_cb = process._grant_now
+            worker = _WORKER_POOL.acquire()
+            process._ident = worker.ident
+            self._thread_procs[worker.ident] = process
+            worker.submit(
+                lambda: self._call_process_main(process, target, args, kwargs)
             )
-            process._thread = thread
-            thread.start()
-            self._thread_procs[thread.ident] = process
-            self.schedule(0.0, lambda: self._grant(process))
+            self.schedule_transient(0.0, grant_cb)
         return process
 
     # -- the event loop ----------------------------------------------------
@@ -460,7 +759,7 @@ class SimScheduler:
         Raises the first error any process died with, after the heap has
         drained so sibling processes still finish deterministically.
         """
-        self._run_loop(lambda: False)
+        self._run_loop(None)
         self._raise_process_errors()
 
     def run_until(self, process: Process) -> Process:
@@ -486,20 +785,49 @@ class SimScheduler:
             return process
         if current is process:
             raise SchedulerError("a process cannot join itself")
+        self.clock.settle_debt()
         if not process._done:
             process._waiters.append(current)
             self._suspend(current)
         return process
 
-    def _run_loop(self, should_stop: Callable[[], bool]) -> None:
-        if self._running_process() is not None:
+    def _run_loop(self, should_stop: Optional[Callable[[], bool]]) -> None:
+        if self._running_process() is not None or self._current_gen is not None:
             raise SchedulerError("run() called from inside a process")
-        while self._heap and not should_stop():
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self.clock._jump_to(event.time)
-            event.action()
+        heap = self._heap
+        nowq = self._nowq
+        clock = self.clock
+        pool = self._event_pool
+        heappop = heapq.heappop
+        popleft = nowq.popleft
+        while heap or nowq:
+            if should_stop is not None and should_stop():
+                break
+            # Merge the zero-delay FIFO with the heap by (time, seq) so
+            # the execution order is exactly the single-heap order.
+            if nowq:
+                if heap:
+                    head = heap[0]
+                    front = nowq[0]
+                    if head[0] < front.time or (
+                        head[0] == front.time and head[1] < front.seq
+                    ):
+                        event = heappop(heap)[2]
+                    else:
+                        event = popleft()
+                else:
+                    event = popleft()
+            else:
+                event = heappop(heap)[2]
+            if not event.cancelled:
+                time = event.time
+                if time != clock._now:
+                    clock._jump_to(time)
+                self._events_processed += 1
+                event.action()
+            if event.pooled and len(pool) < 1024:
+                event.action = None
+                pool.append(event)
 
     def _raise_process_errors(self) -> None:
         for process in self._processes:
@@ -513,31 +841,44 @@ class SimScheduler:
         """The call process owning the current thread, if any."""
         return self._thread_procs.get(threading.get_ident())
 
+    def current_process(self) -> Optional[Process]:
+        """The process running right now: generator step or call thread.
+
+        Unlike :meth:`_running_process` (thread-keyed, used by
+        ``advance`` to decide whether to suspend), this also reports the
+        generator process currently being stepped on the loop thread —
+        what tracers need to attribute spans and instants to the right
+        track.
+        """
+        current = self._current_gen
+        if current is not None:
+            return current
+        return self._thread_procs.get(threading.get_ident())
+
     def _process_sleep(self, process: Process, seconds: float, label: str) -> float:
         """Suspend a call process for ``seconds`` of virtual time."""
-        self.schedule(seconds, lambda: self._grant(process))
+        self.schedule_transient(seconds, process._grant_cb)
         self._suspend(process)
         self.clock.note(label)
         return self.clock.now
 
     def _suspend(self, process: Process) -> None:
         """Hand control to the loop; return when the process is regranted."""
-        process._resume.clear()
-        self._loop_wake.set()
-        process._resume.wait()
+        self._loop_wake.release()
+        process._resume.acquire()
 
     def _grant(self, process: Process) -> None:
         """Loop-side handoff: let ``process`` run until it yields back."""
-        self._loop_wake.clear()
-        process._resume.set()
-        self._loop_wake.wait()
+        process._resume.release()
+        self._loop_wake.acquire()
 
     def _wake(self, process: Process, value: Any = None) -> None:
         """Schedule ``process`` to resume now (used by events and flows)."""
         if process._gen is not None:
-            self.schedule(0.0, lambda: self._step_gen(process, value))
+            process._sendval = value
+            self.schedule_transient(0.0, process._step_cb)
         else:
-            self.schedule(0.0, lambda: self._grant(process))
+            self.schedule_transient(0.0, process._grant_cb)
 
     def _call_process_main(
         self,
@@ -546,29 +887,36 @@ class SimScheduler:
         args: Tuple[Any, ...],
         kwargs: Dict[str, Any],
     ) -> None:
-        process._resume.wait()  # first grant: the spawn event fired
+        process._resume.acquire()  # first grant: the spawn event fired
         process.started_at = self.clock.now
         try:
             process.result = fn(*args, **kwargs)
+            if process._debt:
+                self.clock.advance(0.0)  # settle before finished_at
         except BaseException as error:  # noqa: BLE001 - reported via run()
             process.error = error
         self._finish(process)
-        self._loop_wake.set()  # hand control back; the thread exits
+        self._loop_wake.release()  # hand control back; the worker re-parks
 
     def _finish(self, process: Process) -> None:
         process._done = True
-        process.finished_at = self.clock.now
-        waiters, process._waiters = process._waiters, []
-        for waiter in waiters:
-            self._wake(waiter, process.result)
-        if process._thread is not None:
-            self._thread_procs.pop(process._thread.ident, None)
+        process.finished_at = self.clock._now
+        waiters = process._waiters
+        if waiters:
+            process._waiters = []
+            result = process.result
+            for waiter in waiters:
+                self._wake(waiter, result)
+        if process._ident is not None:
+            self._thread_procs.pop(process._ident, None)
 
-    def _step_gen(self, process: Process, sendval: Any) -> None:
+    def _step_gen(self, process: Process) -> None:
         """Advance a generator process by one yield."""
-        process.started_at = (
-            self.clock.now if process.started_at is None else process.started_at
-        )
+        sendval = process._sendval
+        process._sendval = None
+        if process.started_at is None:
+            process.started_at = self.clock._now
+        self._current_gen = process
         try:
             item = process._gen.send(sendval)
         except StopIteration as stop:
@@ -579,21 +927,26 @@ class SimScheduler:
             process.error = error
             self._finish(process)
             return
+        finally:
+            self._current_gen = None
         if item is None:
-            self.schedule(0.0, lambda: self._step_gen(process, None))
+            self.schedule_transient(0.0, process._step_cb)
+        elif item is SUSPEND:
+            pass  # parked: whoever handed out SUSPEND will _wake us
         elif isinstance(item, (int, float)):
             if item < 0:
                 self._throw_gen(process, ValueError(f"cannot sleep {item} s"))
             else:
-                self.schedule(float(item), lambda: self._step_gen(process, None))
+                self.schedule_transient(float(item), process._step_cb)
         elif isinstance(item, Process):
             if item._done:
-                self.schedule(0.0, lambda: self._step_gen(process, item.result))
+                process._sendval = item.result
+                self.schedule_transient(0.0, process._step_cb)
             else:
                 item._waiters.append(process)
         elif isinstance(item, SimEvent):
             if not item._add_waiter(process):
-                self.schedule(0.0, lambda: self._step_gen(process, None))
+                self.schedule_transient(0.0, process._step_cb)
         else:
             self._throw_gen(
                 process,
@@ -604,16 +957,20 @@ class SimScheduler:
             )
 
     def _throw_gen(self, process: Process, error: BaseException) -> None:
+        self._current_gen = process
         try:
             process._gen.throw(error)
         except StopIteration as stop:
             process.result = stop.value
         except BaseException as raised:  # noqa: BLE001 - reported via run()
             process.error = raised
+        finally:
+            self._current_gen = None
         self._finish(process)
 
     def __repr__(self) -> str:
         return (
             f"SimScheduler(now={self.clock.now:.6f}, "
-            f"pending={len(self._heap)}, processes={len(self._processes)})"
+            f"pending={len(self._heap) + len(self._nowq)}, "
+            f"processes={len(self._processes)})"
         )

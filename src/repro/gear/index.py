@@ -18,12 +18,14 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Tuple
+from weakref import WeakKeyDictionary
 
 from repro.blob import Blob
 from repro.common.errors import GearError
 from repro.common.hashing import Digest, sha256_tokens
 from repro.docker.image import Image, ImageConfig
 from repro.vfs.inode import FileKind, Inode, Metadata
+from repro.vfs.tar import LayerArchive
 from repro.vfs.tree import FileSystemTree
 
 #: Stub files start with this magic so a viewer (and the parser) can tell
@@ -32,6 +34,13 @@ STUB_MAGIC = "gearfp:"
 
 #: Extended attribute marking a stub inode in a live index tree.
 STUB_XATTR = "gear.stub"
+
+#: One-time parse templates for :meth:`GearIndex.from_image`, keyed by
+#: the (immutable, digest-hashed) index layer archive.  Weak keys: the
+#: template dies with the last registry/daemon reference to the archive.
+_INDEX_TEMPLATES: "WeakKeyDictionary[LayerArchive, Tuple[FileSystemTree, Dict[str, GearFileEntry]]]" = (
+    WeakKeyDictionary()
+)
 
 
 @dataclass(frozen=True)
@@ -131,7 +140,14 @@ class GearIndex:
 
     @classmethod
     def from_image(cls, image: Image) -> "GearIndex":
-        """Parse an index back out of its single-layer Docker image."""
+        """Parse an index back out of its single-layer Docker image.
+
+        The parse is pure in the layer archive's content, so the stub
+        tree and entry table are built once per archive digest and every
+        subsequent call (every other node in a fleet pulling the same
+        index) receives an independent clone of that template — the
+        same result a re-parse would produce, minus the re-parse.
+        """
         if not image.gear_index:
             raise GearError(f"{image.reference!r} is not a Gear index image")
         if len(image.layers) != 1:
@@ -139,7 +155,22 @@ class GearIndex:
                 f"Gear index image {image.reference!r} must have exactly one "
                 f"layer, found {len(image.layers)}"
             )
-        root = image.layers[0].archive.extract()
+        archive = image.layers[0].archive
+        template = _INDEX_TEMPLATES.get(archive)
+        if template is None:
+            template = cls._parse_archive(archive)
+            _INDEX_TEMPLATES[archive] = template
+        tree, entries = template
+        return cls(
+            image.name, image.tag, tree.clone(), dict(entries), image.config
+        )
+
+    @staticmethod
+    def _parse_archive(
+        archive: "LayerArchive",
+    ) -> Tuple[FileSystemTree, Dict[str, GearFileEntry]]:
+        """One-time stub-tree parse of an index layer archive."""
+        root = archive.extract()
         tree = FileSystemTree()
         entries: Dict[str, GearFileEntry] = {}
         for path, node in root.walk("/"):
@@ -157,7 +188,7 @@ class GearIndex:
                 meta = node.meta.copy()
                 meta.xattrs[STUB_XATTR] = "1"
                 tree.write_file(path, node.blob, meta=meta, parents=True)
-        return cls(image.name, image.tag, tree, entries, image.config)
+        return tree, entries
 
     # -- packaging ------------------------------------------------------------
 

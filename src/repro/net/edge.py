@@ -43,7 +43,7 @@ byte- and time-identical to :func:`repro.bench.environment.make_testbed`.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.common.clock import Process, SimClock
 from repro.common.errors import (
@@ -309,7 +309,12 @@ class EdgeSite:
     def stop_gossip(self) -> None:
         self._stop = True
 
-    def _gossip_loop(self) -> None:
+    def _gossip_loop(self) -> Iterator[float]:
+        # A generator process: each ``yield`` parks the loop on the
+        # scheduler heap directly, with no worker-thread handoff per
+        # round.  The schedule is (time, seq)-identical to the former
+        # thread-backed loop — one transient event per sleep, label
+        # noted on resume — so traces and tie-breaking are unchanged.
         while not self._stop:
             self.gossip()
             # Seeded jitter keeps rounds from phase-locking with waves
@@ -317,7 +322,8 @@ class EdgeSite:
             jitter = self.gossip_interval_s * (
                 0.75 + 0.5 * self._gossip_rng.random()
             )
-            self.clock.advance(jitter, "edge-gossip-wait")
+            yield jitter
+            self.clock.note("edge-gossip-wait")
 
     # -- the failover chain --------------------------------------------
 
@@ -762,7 +768,9 @@ class ChurnDriver:
     def stop(self) -> None:
         self._stop = True
 
-    def _run(self) -> None:
+    def _run(self) -> Iterator[float]:
+        # Generator process (see ``EdgeSite._gossip_loop``): yields
+        # replace thread-handoff sleeps, schedule unchanged.
         clock = self.fabric.clock
         stats = self.fabric.stats
         started = clock.now
@@ -771,7 +779,8 @@ class ChurnDriver:
                 return
             delay = started + event.at_s - clock.now
             if delay > 0:
-                clock.advance(delay, "edge-churn-wait")
+                yield delay
+                clock.note("edge-churn-wait")
             if self._stop:
                 return
             peer = self.fabric.peer(event.peer)

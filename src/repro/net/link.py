@@ -12,14 +12,29 @@ flow's service demand is its nominal sequential duration
 (``rtt + overhead + payload / bandwidth``); with a single active flow it
 completes in exactly that time, reproducing the seed formula to the
 bit, and with N flows each progresses at 1/N of real time.
+
+Fair sharing is accounted *incrementally* via a cumulative virtual
+service time ``V`` (the classic processor-sharing trick): ``V``
+advances by ``dt / N`` while N flows are active and is only updated on
+flow-set *membership changes* (a flow entering, completing, or being
+cancelled).  A flow entering at virtual service ``V0`` with demand
+``S`` completes when ``V`` reaches ``V0 + S``; completions are kept in
+a min-heap keyed by that target.  The seed model recomputed every
+flow's remaining demand on every event — O(N) per membership change,
+O(N²) per wave — which is what capped fleet sweeps at ~64 clients.
+``V`` resets to zero whenever the link goes idle, so a sole flow's
+completion delay is computed as ``(S - 0.0) * 1``: bit-identical to
+the seed formula, not merely close.
 """
 
 from __future__ import annotations
 
+import heapq
+import itertools
 from dataclasses import dataclass, field
-from typing import List, Optional, Set
+from typing import Dict, List, Optional, Set, Tuple
 
-from repro.common.clock import Process, SimClock, SimScheduler
+from repro.common.clock import SUSPEND, Process, SimClock, SimScheduler
 from repro.common.errors import FetchCancelledError
 from repro.common.units import Mbps, mbps_to_bytes_per_s
 
@@ -87,20 +102,22 @@ class TransferLog:
 class _Flow:
     """One in-flight transfer under processor sharing."""
 
-    __slots__ = ("remaining_s", "nominal_s", "start", "payload_bytes",
+    __slots__ = ("vtarget", "nominal_s", "start", "payload_bytes",
                  "label", "waiters", "contended", "cancelled",
                  "partial_bytes")
 
     def __init__(self, nominal_s: float, start: float, payload_bytes: int,
                  label: str) -> None:
-        self.remaining_s = nominal_s
+        #: Cumulative link virtual-service time at which this flow
+        #: completes (entry ``V`` + nominal demand); set on admission.
+        self.vtarget = nominal_s
         self.nominal_s = nominal_s
         self.start = start
         self.payload_bytes = payload_bytes
         self.label = label
         self.waiters: List[Process] = []
         self.contended = False
-        #: Set by :meth:`Link.cancel_flows_of`: the transfer was aborted
+        #: Set by :meth:`Link.cancel_flows`: the transfer was aborted
         #: mid-flight and only ``partial_bytes`` of the payload moved.
         self.cancelled = False
         self.partial_bytes = 0
@@ -142,13 +159,25 @@ class Link:
         self.rtt_s = rtt_s
         self.request_overhead_s = request_overhead_s
         self.log = TransferLog()
-        #: Active flows (scheduler mode only), in arrival order.
-        self._flows: List[_Flow] = []
+        #: Active flows (scheduler mode only), in arrival order
+        #: (insertion-ordered dict used as an O(1)-delete ordered set).
+        self._flows: Dict[_Flow, None] = {}
+        #: Completion min-heap of ``(vtarget, tiebreak, flow)``; stale
+        #: entries (cancelled flows) are skipped lazily on pop.
+        self._targets: List[Tuple[float, int, _Flow]] = []
+        self._target_seq = itertools.count()
+        #: Cumulative virtual service time V (advances dt/N; reset to
+        #: 0.0 whenever the link idles — the sole-flow bit-exactness
+        #: anchor, see the module docstring).
+        self._vtime = 0.0
+        self._vlast = clock.now
+        #: The one active flow that has never shared the link, if any
+        #: (lets contended-marking stay O(1) per membership change).
+        self._sole_flow: Optional[_Flow] = None
         #: Processes with a pending cancellation but no active flow on
         #: this link right now (e.g. parked in a fault stall): their next
         #: transfer attempt raises instead of starting a new flow.
         self._cancel_pending: Set[Process] = set()
-        self._last_update = clock.now
         self._completion_event = None
         #: Cumulative seconds the link spent carrying at least one
         #: transfer — the occupancy operators provision uplinks for.
@@ -190,6 +219,7 @@ class Link:
         cost when the flow never shared the link — bit-identical to the
         sequential model — and the actual stretched duration otherwise.
         """
+        self.clock.settle_debt()  # flows start at settled virtual time
         duration = self.transfer_time(payload_bytes)
         scheduler = self.clock.scheduler
         process = scheduler._running_process() if scheduler is not None else None
@@ -222,24 +252,73 @@ class Link:
         nominal_s: float,
         label: str,
     ) -> float:
+        self._check_cancel_pending(process, payload_bytes, label)
+        flow = self._open_flow(process, payload_bytes, nominal_s, label)
+        self._rearm(scheduler)
+        scheduler._suspend(process)
+        return self._finish_flow(flow, payload_bytes, label)
+
+    def transfer_gen(self, payload_bytes: int, label: str = ""):
+        """Generator-native transfer: ``yield from`` it in a generator.
+
+        Identical accounting to :meth:`transfer`, but the waiting
+        process parks by yielding :data:`~repro.common.clock.SUSPEND`
+        instead of blocking a worker thread — the cheap path for
+        1024+-client waves.  Outside a generator process (sequential
+        mode, or called from a call process) it falls back to
+        :meth:`transfer`, so shared code can use it unconditionally.
+        Returns the logged duration; raises
+        :class:`FetchCancelledError` exactly like :meth:`transfer`.
+        """
+        scheduler = self.clock.scheduler
+        process = scheduler.current_process() if scheduler is not None else None
+        if process is None or process._gen is None:
+            return self.transfer(payload_bytes, label)
+        duration = self.transfer_time(payload_bytes)
+        self._check_cancel_pending(process, payload_bytes, label)
+        flow = self._open_flow(process, payload_bytes, duration, label)
+        self._rearm(scheduler)
+        yield SUSPEND
+        return self._finish_flow(flow, payload_bytes, label)
+
+    def _check_cancel_pending(
+        self, process: Process, payload_bytes: int, label: str
+    ) -> None:
         if process in self._cancel_pending:
             self._cancel_pending.discard(process)
             raise FetchCancelledError(
                 f"transfer cancelled before start: {label or payload_bytes}",
                 bytes_transferred=0,
             )
+
+    def _open_flow(
+        self, process: Process, payload_bytes: int, nominal_s: float, label: str
+    ) -> _Flow:
+        """Admit a flow: set its completion target, mark contention."""
         start = self.clock.now
-        self._progress_flows()
+        self._advance_vtime()
         flow = _Flow(nominal_s, start, payload_bytes, label)
-        self._flows.append(flow)
-        if len(self._flows) > 1:
-            for active in self._flows:
-                active.contended = True
-        elif self._busy_since is None:
-            self._busy_since = start
+        flow.vtarget = self._vtime + nominal_s
+        self._flows[flow] = None
+        heapq.heappush(self._targets, (flow.vtarget, next(self._target_seq), flow))
+        sole = self._sole_flow
+        if sole is not None:
+            # The incumbent was alone until now: both flows contend.
+            sole.contended = True
+            self._sole_flow = None
+            flow.contended = True
+        elif len(self._flows) > 1:
+            flow.contended = True
+        else:
+            self._sole_flow = flow
+            if self._busy_since is None:
+                self._busy_since = start
         flow.waiters.append(process)
-        self._reschedule(scheduler)
-        scheduler._suspend(process)
+        return flow
+
+    def _finish_flow(self, flow: _Flow, payload_bytes: int, label: str) -> float:
+        """Post-wake bookkeeping: log the transfer or raise cancellation."""
+        start = flow.start
         elapsed = self.clock.now - start
         if flow.cancelled:
             self.clock.instant(f"cancelled:{label or payload_bytes}")
@@ -267,49 +346,76 @@ class Link:
         )
         return duration
 
-    def _progress_flows(self) -> None:
-        """Charge elapsed time against every active flow's remainder."""
-        now = self.clock.now
+    def _advance_vtime(self) -> None:
+        """Accrue virtual service since the last membership change."""
+        now = self.clock._now
         if self._flows:
-            dt = now - self._last_update
-            if dt > 0:
-                share = dt / len(self._flows)
-                for flow in self._flows:
-                    flow.remaining_s -= share
-        self._last_update = now
+            dt = now - self._vlast
+            if dt > 0.0:
+                self._vtime += dt / len(self._flows)
+        self._vlast = now
 
-    def _reschedule(self, scheduler: SimScheduler) -> None:
+    def _rearm(self, scheduler: SimScheduler) -> None:
         """(Re)arm the completion event for the earliest-finishing flow."""
-        if self._completion_event is not None:
-            self._completion_event.cancel()
+        event = self._completion_event
+        if event is not None:
+            event.cancel()
             self._completion_event = None
-        if not self._flows:
+        flows = self._flows
+        if not flows:
+            now = self.clock._now
             if self._busy_since is not None:
-                self._busy_s += self.clock.now - self._busy_since
+                self._busy_s += now - self._busy_since
                 self._busy_since = None
+            # Idle link: reset virtual service so the next sole flow's
+            # delay is (nominal - 0.0) * 1 — the seed formula, bit-exact.
+            self._vtime = 0.0
+            self._vlast = now
+            self._targets.clear()
             return
-        count = len(self._flows)
-        shortest = min(flow.remaining_s for flow in self._flows)
-        delay = max(shortest, 0.0) * count
-        self._completion_event = scheduler.schedule(
-            delay, lambda: self._complete_due_flows(scheduler)
+        targets = self._targets
+        while targets[0][2] not in flows:  # drop stale (cancelled) heads
+            heapq.heappop(targets)
+        remaining = targets[0][0] - self._vtime
+        if remaining < 0.0:
+            remaining = 0.0
+        self._completion_event = scheduler.schedule_transient(
+            remaining * len(flows), self._complete_due_flows
         )
 
-    def _complete_due_flows(self, scheduler: SimScheduler) -> None:
+    def _complete_due_flows(self) -> None:
         self._completion_event = None
-        self._progress_flows()
-        done = [flow for flow in self._flows if flow.remaining_s <= _FLOW_EPS]
+        scheduler = self.clock.scheduler
+        self._advance_vtime()
+        flows = self._flows
+        targets = self._targets
+        threshold = self._vtime + _FLOW_EPS
+        done: List[_Flow] = []
+        while targets:
+            vtarget, _, flow = targets[0]
+            if flow not in flows:
+                heapq.heappop(targets)  # stale: cancelled mid-flight
+            elif vtarget <= threshold:
+                heapq.heappop(targets)
+                del flows[flow]
+                done.append(flow)
+            else:
+                break
         if not done:
             # Float drift left the designated flow epsilon short; it is
             # due by construction of the completion event.
-            forced = min(self._flows, key=lambda flow: flow.remaining_s)
-            forced.remaining_s = 0.0
-            done = [forced]
+            while True:
+                _, _, flow = heapq.heappop(targets)
+                if flow in flows:
+                    del flows[flow]
+                    done.append(flow)
+                    break
         for flow in done:
-            self._flows.remove(flow)
+            if flow is self._sole_flow:
+                self._sole_flow = None
             for process in flow.waiters:
                 scheduler._wake(process)
-        self._reschedule(scheduler)
+        self._rearm(scheduler)
 
     # -- hedged-fetch cancellation -----------------------------------------
 
@@ -333,22 +439,29 @@ class Link:
         scheduler = self.clock.scheduler
         if scheduler is None:
             raise RuntimeError("cancel_flows requires a scheduler")
-        self._progress_flows()
+        self.clock.settle_debt()
+        self._advance_vtime()
         victims = [flow for flow in self._flows if process in flow.waiters]
         if not victims:
             self._cancel_pending.add(process)
             return 0
+        vtime = self._vtime
         for flow in victims:
             if flow.nominal_s > 0:
-                done_frac = 1.0 - max(flow.remaining_s, 0.0) / flow.nominal_s
+                remaining = flow.vtarget - vtime
+                if remaining < 0.0:
+                    remaining = 0.0
+                done_frac = 1.0 - remaining / flow.nominal_s
             else:
                 done_frac = 1.0
             flow.partial_bytes = int(flow.payload_bytes * min(max(done_frac, 0.0), 1.0))
             flow.cancelled = True
-            self._flows.remove(flow)
+            del self._flows[flow]
+            if flow is self._sole_flow:
+                self._sole_flow = None
             for waiter in flow.waiters:
                 scheduler._wake(waiter)
-        self._reschedule(scheduler)
+        self._rearm(scheduler)
         return len(victims)
 
     def clear_cancel(self, process: Process) -> None:

@@ -140,6 +140,9 @@ class Cluster:
             bandwidth_mbps=bandwidth_mbps
         )
         self.registry_uplink_mbps = registry_uplink_mbps or bandwidth_mbps
+        #: Scheduler events executed by the most recent ``deploy_wave``
+        #: (the numerator of events/sec in the speed harness).
+        self.last_wave_events = 0
         self.nodes: List[ClientNode] = []
         for index in range(node_count):
             self.nodes.append(self._build_node(index))
@@ -224,6 +227,7 @@ class Cluster:
                     for node in self.nodes[offset:offset + concurrency]:
                         scheduler.spawn(client, node, name=node.name)
                     scheduler.run()
+                self.last_wave_events = scheduler.events_processed
 
         return WaveReport(
             concurrency=concurrency,

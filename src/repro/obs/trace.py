@@ -141,11 +141,22 @@ class SpanTracer:
     advances the clock.
     """
 
+    __slots__ = (
+        "clock",
+        "spans",
+        "instants",
+        "_tracks",
+        "_tracks_by_index",
+        "_next_id",
+    )
+
     def __init__(self, clock: Any) -> None:
         self.clock = clock
         self.spans: List[Span] = []
         self.instants: List[Instant] = []
         self._tracks: Dict[Any, _Track] = {}
+        #: Same tracks, addressable by ``track.index`` without a scan.
+        self._tracks_by_index: List[_Track] = []
         self._next_id = 1
         self._track_for(None)  # track 0: the main/sequential activity
 
@@ -155,6 +166,12 @@ class SpanTracer:
         scheduler = getattr(self.clock, "scheduler", None)
         if scheduler is None:
             return None
+        # ``current_process`` also reports a generator process being
+        # stepped on the loop thread; fall back for schedulers predating
+        # generator support.
+        getter = getattr(scheduler, "current_process", None)
+        if getter is not None:
+            return getter()
         return scheduler._running_process()
 
     def _track_for(self, key: Any) -> _Track:
@@ -163,6 +180,7 @@ class SpanTracer:
             name = "main" if key is None else getattr(key, "name", str(key))
             track = _Track(len(self._tracks), name, None)
             self._tracks[key] = track
+            self._tracks_by_index.append(track)
         return track
 
     def on_spawn(self, process: Any) -> None:
@@ -178,7 +196,7 @@ class SpanTracer:
 
     def tracks(self) -> List[_Track]:
         """Every track in creation order (deterministic)."""
-        return sorted(self._tracks.values(), key=lambda t: t.index)
+        return list(self._tracks_by_index)
 
     # -- recording ---------------------------------------------------------
 
@@ -203,13 +221,13 @@ class SpanTracer:
 
     def end(self, span: Span) -> Span:
         span.end_s = self.clock.now
-        for track in self._tracks.values():
-            if track.index == span.track:
-                if span in track.stack:
-                    # Normally the innermost; tolerate out-of-order ends
-                    # (an exception unwinding through nested withs).
-                    track.stack.remove(span)
-                break
+        stack = self._tracks_by_index[span.track].stack
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:
+            # Normally the innermost; tolerate out-of-order ends
+            # (an exception unwinding through nested withs).
+            stack.remove(span)
         return span
 
     def instant(self, name: str, **labels: Any) -> Instant:
@@ -233,6 +251,7 @@ class SpanTracer:
         self.spans.clear()
         self.instants.clear()
         self._tracks.clear()
+        self._tracks_by_index.clear()
         self._next_id = 1
         self._track_for(None)
 

@@ -71,21 +71,46 @@ class Disk:
         self.file_ops += file_ops
         return duration
 
-    def write(self, num_bytes: int, file_ops: int = 0, label: str = "") -> float:
+    def write(
+        self,
+        num_bytes: int,
+        file_ops: int = 0,
+        label: str = "",
+        extra_s: float = 0.0,
+        deferred: bool = False,
+    ) -> float:
         # Writes share the sequential profile; container-image workloads
         # are read-mostly and the asymmetry is irrelevant at this fidelity.
-        duration = self.read_time(num_bytes, file_ops)
-        self.clock.advance(duration, label or "disk-write")
+        #
+        # ``extra_s`` folds an adjacent CPU stage (e.g. decompression)
+        # into the same clock advance, so a decompress-then-store pair
+        # costs one scheduler suspension instead of two.
+        #
+        # ``deferred`` accrues the duration as virtual-time debt on the
+        # calling actor instead of advancing immediately; the debt settles
+        # in the actor's next advance (or at the next shared-state
+        # interaction), saving a scheduler suspension for purely local
+        # write sequences.
+        duration = self.read_time(num_bytes, file_ops) + extra_s
+        if deferred:
+            self.clock.advance_deferred(duration, label or "disk-write")
+        else:
+            self.clock.advance(duration, label or "disk-write")
         self.bytes_written += num_bytes
         self.file_ops += file_ops
         return duration
 
-    def metadata_op(self, count: int = 1, label: str = "") -> float:
+    def metadata_op(
+        self, count: int = 1, label: str = "", deferred: bool = False
+    ) -> float:
         """Pure metadata operations (mkdir, link, unlink)."""
         if count < 0:
             raise ValueError("count must be non-negative")
         duration = count * self.profile.per_file_op_s
-        self.clock.advance(duration, label or "disk-meta")
+        if deferred:
+            self.clock.advance_deferred(duration, label or "disk-meta")
+        else:
+            self.clock.advance(duration, label or "disk-meta")
         self.file_ops += count
         return duration
 

@@ -127,25 +127,33 @@ class Inode:
         """Copy this inode (new inode number, nlink reset to 1).
 
         Directories clone their subtree when ``deep``; files share the
-        (immutable) blob.  Used by copy-up and by layer application.
+        (immutable) blob.  Used by copy-up, layer application, and the
+        template caches, which makes this a deploy-path hot spot — the
+        copy assigns slots directly instead of re-running ``__init__``'s
+        validation (the source inode already passed it).
         """
-        if self.kind is FileKind.FILE:
-            copy = Inode(FileKind.FILE, meta=self.meta.copy(), blob=self.blob)
-        elif self.kind is FileKind.SYMLINK:
-            copy = Inode(
-                FileKind.SYMLINK,
-                meta=self.meta.copy(),
-                symlink_target=self.symlink_target,
+        copy = Inode.__new__(Inode)
+        copy.ino = next(_inode_numbers)
+        copy.kind = self.kind
+        meta = self.meta
+        copy.meta = Metadata(
+            mode=meta.mode, uid=meta.uid, gid=meta.gid,
+            mtime=meta.mtime, xattrs=dict(meta.xattrs),
+        )
+        copy.blob = self.blob
+        copy.symlink_target = self.symlink_target
+        copy.nlink = 1
+        copy.opaque = self.opaque
+        if self.kind is FileKind.DIRECTORY:
+            children = self.children
+            assert children is not None
+            copy.children = (
+                {name: child.clone(deep=True) for name, child in children.items()}
+                if deep
+                else {}
             )
-        elif self.kind is FileKind.WHITEOUT:
-            copy = Inode(FileKind.WHITEOUT, meta=self.meta.copy())
         else:
-            copy = Inode(FileKind.DIRECTORY, meta=self.meta.copy())
-            copy.opaque = self.opaque
-            if deep:
-                assert self.children is not None and copy.children is not None
-                for name, child in self.children.items():
-                    copy.children[name] = child.clone(deep=True)
+            copy.children = None
         return copy
 
     def __repr__(self) -> str:

@@ -104,6 +104,16 @@ class LayerArchive:
             sorted(entries, key=lambda e: e.path)
         )
         self._digest: Optional[Digest] = None
+        # Extraction templates: the archive is immutable, so the trees
+        # its entries unpack to are fixed — build each once, then hand
+        # every caller an independent deep clone (blobs stay shared).
+        # A fleet of nodes pulling the same layer pays the entry-by-entry
+        # unpack once instead of once per node.
+        self._extract_template: Optional[FileSystemTree] = None
+        self._diff_template: Optional[FileSystemTree] = None
+        # Size model results are pure in the entry list; cache them.
+        self._uncompressed_size: Optional[int] = None
+        self._compressed_size: Optional[int] = None
 
     # -- construction ----------------------------------------------------
 
@@ -166,7 +176,12 @@ class LayerArchive:
     @property
     def uncompressed_size(self) -> int:
         """Total archive bytes before compression."""
-        return sum(entry.archived_size for entry in self._entries) + 2 * _TAR_BLOCK
+        if self._uncompressed_size is None:
+            self._uncompressed_size = (
+                sum(entry.archived_size for entry in self._entries)
+                + 2 * _TAR_BLOCK
+            )
+        return self._uncompressed_size
 
     @property
     def compressed_size(self) -> int:
@@ -175,15 +190,17 @@ class LayerArchive:
         Headers compress extremely well (~95%); content compresses per
         the blob compressibility model.
         """
-        header_bytes = (
-            self.uncompressed_size
-            - sum(entry.content_size for entry in self._entries)
-        )
-        compressed = round(header_bytes * 0.05)
-        for entry in self._entries:
-            if entry.blob is not None:
-                compressed += blob_compressed_size(entry.blob)
-        return max(_TAR_BLOCK // 8, compressed)
+        if self._compressed_size is None:
+            header_bytes = (
+                self.uncompressed_size
+                - sum(entry.content_size for entry in self._entries)
+            )
+            compressed = round(header_bytes * 0.05)
+            for entry in self._entries:
+                if entry.blob is not None:
+                    compressed += blob_compressed_size(entry.blob)
+            self._compressed_size = max(_TAR_BLOCK // 8, compressed)
+        return self._compressed_size
 
     @property
     def file_count(self) -> int:
@@ -255,8 +272,15 @@ class LayerArchive:
         return tree
 
     def extract(self) -> FileSystemTree:
-        """Unpack this archive into a fresh tree."""
-        return self.apply_to(FileSystemTree())
+        """Unpack this archive into a fresh tree.
+
+        Each call returns an independent tree (cloned from a one-time
+        template; clones get fresh inode numbers and copied metadata,
+        exactly as a re-extraction would).
+        """
+        if self._extract_template is None:
+            self._extract_template = self.apply_to(FileSystemTree())
+        return self._extract_template.clone()
 
     def extract_diff(self) -> FileSystemTree:
         """Unpack into a *diff tree*, preserving whiteouts as inodes.
@@ -265,7 +289,15 @@ class LayerArchive:
         driver instead needs the layer as an overlay *lower* directory in
         which whiteouts and opaque flags survive as filesystem objects.
         This is what Overlay2 keeps in each layer's ``diff/`` directory.
+
+        Template-cached like :meth:`extract`: callers get independent
+        clones of a one-time unpack.
         """
+        if self._diff_template is None:
+            self._diff_template = self._extract_diff_uncached()
+        return self._diff_template.clone()
+
+    def _extract_diff_uncached(self) -> FileSystemTree:
         tree = FileSystemTree()
         for entry in self._entries:
             parent_rel, name = paths.parent_and_name(entry.path)

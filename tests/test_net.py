@@ -59,6 +59,38 @@ class TestLink:
         assert link.log.total_bytes == 0
         assert link.log.total_time == 0.0
 
+    def test_transfer_gen_matches_transfer(self):
+        """Generator and call transfers replay the same schedule.
+
+        Two identical contended scenarios — one with thread processes
+        calling ``transfer``, one with generator processes delegating to
+        ``transfer_gen`` — must land on the same virtual time and move
+        the same bytes.
+        """
+        from repro.common.clock import SimScheduler
+
+        def run(mode):
+            clock = SimClock()
+            link = Link(clock, bandwidth_mbps=8)
+            sizes = (500_000, 250_000, 750_000)
+
+            def client_call(size):
+                clock.advance(0.01)
+                link.transfer(size)
+
+            def client_gen(size):
+                yield 0.01
+                yield from link.transfer_gen(size)
+
+            target = client_gen if mode == "gen" else client_call
+            with SimScheduler(clock) as scheduler:
+                for size in sizes:
+                    scheduler.spawn(target, size)
+                scheduler.run()
+            return clock.now, link.log.total_bytes, link.log.total_requests
+
+        assert run("thread") == run("gen")
+
 
 class TestTransferLog:
     def test_totals_are_running_counters(self):

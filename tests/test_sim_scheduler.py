@@ -172,6 +172,135 @@ class TestScheduler:
             scheduler.run()
         assert process.done
 
+    def test_default_process_names_are_monotone_and_unique(self):
+        """Default names come from a monotone counter, never recycled.
+
+        Spawning across multiple ``run`` rounds — after earlier processes
+        have completed — must keep minting fresh names, so logs and trace
+        tracks from different rounds can never alias.
+        """
+        clock = SimClock()
+        names = []
+        with SimScheduler(clock) as scheduler:
+            for round_ in range(3):
+                batch = [scheduler.spawn(lambda: None) for _ in range(4)]
+                scheduler.run()
+                names.extend(process.name for process in batch)
+            # An explicit name consumes a counter slot too, keeping the
+            # default sequence strictly monotone.
+            named = scheduler.spawn(lambda: None, name="explicit")
+            after = scheduler.spawn(lambda: None)
+            scheduler.run()
+        assert names == [f"proc-{i}" for i in range(12)]
+        assert named.name == "explicit"
+        assert after.name == "proc-13"
+        assert len(set(names)) == len(names)
+
+    def test_events_processed_counts_executed_events(self):
+        clock = SimClock()
+        with SimScheduler(clock) as scheduler:
+            assert scheduler.events_processed == 0
+            scheduler.schedule(1.0, lambda: None)
+            cancelled = scheduler.schedule(2.0, lambda: None)
+            cancelled.cancel()
+            scheduler.run()
+            assert scheduler.events_processed == 1
+
+
+class TestDeferredAdvance:
+    """Virtual-time debt: deferred advances settle before they can leak."""
+
+    def test_deferred_advances_sum_like_immediate_ones(self):
+        """debt + seconds uses the same float summation as two advances."""
+        immediate = SimClock()
+        immediate.advance(0.125, "a")
+        immediate.advance(0.375, "b")
+        deferred = SimClock(trace=True)
+        deferred.advance_deferred(0.125, "a")
+        assert deferred.now == 0.0  # accrued, not yet applied
+        deferred.advance(0.375, "b")
+        assert deferred.now == immediate.now
+        assert deferred.trace == [(0.5, "a+b")]
+
+    def test_settle_debt_applies_outstanding_debt(self):
+        clock = SimClock()
+        clock.advance_deferred(1.5, "meta")
+        clock.settle_debt()
+        assert clock.now == 1.5
+        clock.settle_debt()  # no debt: a no-op
+        assert clock.now == 1.5
+
+    def test_negative_deferred_advance_rejected(self):
+        clock = SimClock()
+        with pytest.raises(ValueError):
+            clock.advance_deferred(-0.1)
+
+    def test_process_debt_settles_before_event_fire_reaches_waiters(self):
+        """A waiter must observe the firer's deferred time as elapsed."""
+        clock = SimClock()
+        seen = {}
+        with SimScheduler(clock) as scheduler:
+            event = SimEvent(clock)
+
+            def producer():
+                clock.advance(1.0, "work")
+                clock.advance_deferred(0.25, "store")
+                event.fire()
+
+            def consumer():
+                event.wait()
+                seen["at"] = clock.now
+
+            scheduler.spawn(consumer, name="consumer")
+            scheduler.spawn(producer, name="producer")
+            scheduler.run()
+        assert seen["at"] == 1.25
+
+    def test_zero_waiter_fire_leaves_debt_for_next_advance(self):
+        """With nobody waiting, debt rides through to the next advance."""
+        clock = SimClock(trace=True)
+        with SimScheduler(clock) as scheduler:
+            event = SimEvent(clock)
+
+            def lone():
+                clock.advance_deferred(0.25, "store")
+                event.fire()  # no waiters: must not force a settle
+                assert clock.now == 0.0
+                clock.advance(0.75, "read")
+
+            scheduler.spawn(lone, name="lone")
+            scheduler.run()
+        assert clock.now == 1.0
+        assert (1.0, "store+read") in clock.trace
+
+    def test_join_settles_spawner_debt(self):
+        clock = SimClock()
+        finished = {}
+        with SimScheduler(clock) as scheduler:
+
+            def child():
+                finished["child_started"] = clock.now
+
+            def parent():
+                clock.advance_deferred(0.5, "meta")
+                # spawn settles debt, so the child starts at 0.5
+                handle = scheduler.spawn(child, name="child")
+                scheduler.join(handle)
+
+            scheduler.spawn(parent, name="parent")
+            scheduler.run()
+        assert finished["child_started"] == 0.5
+
+    def test_process_finishing_with_debt_settles_it(self):
+        clock = SimClock()
+        with SimScheduler(clock) as scheduler:
+            process = scheduler.spawn(
+                lambda: clock.advance_deferred(0.25, "tail"), name="tail"
+            )
+            scheduler.run()
+        assert process.finished_at == 0.25
+        assert clock.now == 0.25
+
 
 # -- sequential-equivalence goldens --------------------------------------
 
