@@ -64,6 +64,14 @@ CLI_SCENARIOS = {
         "edge", "--series", "nginx", "--versions", "2", "--scale", "0.2",
         "--target", "nginx", "--clients", "8", "--edge-seed", "11", "--json",
     ],
+    "faas": [
+        "faas", "--series", "nginx", "--versions", "2", "--scale", "0.2",
+        "--functions", "10", "--duration", "8", "--rate", "4",
+        "--nodes", "4", "--spike-start", "3", "--spike-len", "3",
+        "--outage-start", "4", "--outage-len", "1.5",
+        "--scenario", "spike", "spike+outage",
+        "--faas-seed", "11", "--json",
+    ],
     # The perf command's JSON carries only deterministic simulation
     # fields (events, virtual seconds, modeled bytes) plus the recorded
     # pre-refactor baseline; wall-clock throughput never enters the

@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
 # Repo health gate: tier-1 tests, warnings-as-errors on the fault-injection,
-# scheduler, journal/recovery, HA, telemetry, and edge suites, fleet-
-# contention / crash / HA / trace / edge determinism gates, the checked-in
-# perf-trajectory artifacts, and a full bytecode compile of the source tree.
+# scheduler, journal/recovery, HA, telemetry, edge, and FaaS suites, fleet-
+# contention / crash / HA / trace / edge / FaaS determinism gates, the
+# checked-in perf-trajectory artifacts, and a full bytecode compile of the
+# source tree.
 #
 # Usage: sh scripts/check.sh   (from the repo root)
 set -eu
@@ -30,6 +31,10 @@ python -W error -m pytest tests/test_obs_trace.py tests/test_obs_metrics.py -q
 
 echo "== edge/P2P suites under -W error =="
 python -W error -m pytest tests/test_net_edge.py tests/test_gear_gc.py -q
+
+echo "== FaaS tier suites under -W error =="
+python -W error -m pytest tests/test_net_faas.py tests/test_workloads_schedule.py \
+    tests/test_common_stats.py -q
 
 echo "== fleet-contention determinism gate =="
 # The concurrent simulation must be replayable: two identical sweeps
@@ -90,6 +95,25 @@ for edge_seed in 11 42; do
         "$fleet_tmp/edge-$edge_seed-run2.json"
 done
 echo "edge sweeps identical across runs for both seeds"
+
+echo "== FaaS spike determinism gate =="
+# Arrival schedules, placement, coalescing order, breaker state, and
+# backoff jitter all draw from seeded streams: for each seed, two
+# identical spike+outage sweeps have to emit byte-identical JSON reports
+# (and exit 0, which certifies zero failed invocations, zero duplicate
+# upstream fetches, zero integrity violations, and cold-started
+# filesystems byte-identical to the fault-free registry-only control).
+for faas_seed in 11 42; do
+    faas_cmd="python -m repro.cli faas --series nginx --versions 2 \
+        --scale 0.2 --functions 10 --duration 8 --rate 4 --nodes 4 \
+        --spike-start 3 --spike-len 3 --outage-start 4 --outage-len 1.5 \
+        --scenario spike+outage --faas-seed $faas_seed --json"
+    $faas_cmd > "$fleet_tmp/faas-$faas_seed-run1.json"
+    $faas_cmd > "$fleet_tmp/faas-$faas_seed-run2.json"
+    diff "$fleet_tmp/faas-$faas_seed-run1.json" \
+        "$fleet_tmp/faas-$faas_seed-run2.json"
+done
+echo "FaaS sweeps identical across runs for both seeds"
 
 echo "== edge single-tier equivalence gate =="
 # With no peers and no churn the edge tier must cost exactly nothing:

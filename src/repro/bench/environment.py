@@ -19,6 +19,7 @@ from repro.gear.driver import GearDriver
 from repro.gear.pool import EvictionPolicy, SharedFilePool
 from repro.gear.registry import GearRegistry
 from repro.net.edge import EdgeFabric, EdgeSite, EdgeStats
+from repro.net.faas import FaasFabric, FaasStats, SharedCacheTier
 from repro.net.faults import FaultPlan, FaultyLink
 from repro.net.ha import (
     GEAR_ENDPOINT,
@@ -60,6 +61,9 @@ class Testbed:
     #: The edge distribution fabric when this testbed has a peer-serving
     #: site tier (mint nodes with ``edge.client()``).
     edge: Optional[EdgeFabric] = None
+    #: The FaaS distribution fabric when this testbed has a shared
+    #: intermediate cache tier (mint nodes with ``faas.client()``).
+    faas: Optional[FaasFabric] = None
 
     def attach_tracer(self, tracer: Optional[SpanTracer] = None) -> SpanTracer:
         """Attach (or create) a span tracer on the testbed clock."""
@@ -71,10 +75,12 @@ class Testbed:
             self.metrics.reset()
 
     def all_links(self) -> "list[Link]":
-        """Every simulated wire in the testbed (base + replica links)."""
+        """Every simulated wire in the testbed (base + replica + tier)."""
         links = [self.link]
         if self.ha is not None:
             links.extend(r.link for r in self.ha.replica_set.replicas)
+        if self.faas is not None:
+            links.append(self.faas.tier.link)
         return links
 
     def set_bandwidth(self, bandwidth_mbps: float) -> None:
@@ -120,6 +126,7 @@ class Testbed:
             ha=self.ha,
             metrics=self.metrics,
             edge=self.edge,
+            faas=self.faas,
         )
         # Replace-by-key: the new client's pool and journal take over the
         # old ones' registry slots.
@@ -433,6 +440,107 @@ def make_edge_testbed(
             "edge_retry",
             edge_retry_policy.metrics,
             reset=edge_retry_policy.reset_spent,
+        )
+    return testbed
+
+
+def make_faas_testbed(
+    *,
+    bandwidth_mbps: float = 904.0,
+    tier_mbps: float = 904.0,
+    registry_disk: DiskProfile = HDD,
+    client_disk: DiskProfile = HDD,
+    pool_capacity_bytes: Optional[int] = None,
+    pool_policy: EvictionPolicy = EvictionPolicy.LRU,
+    fault_plan: Optional[FaultPlan] = None,
+    tier_fault_plan: Optional[FaultPlan] = None,
+    retry_policy: Optional[RetryPolicy] = None,
+    faas_retry_policy: Optional[RetryPolicy] = None,
+    tier_capacity_bytes: Optional[int] = None,
+    tier_ttl_s: Optional[float] = None,
+    tier_admission_capacity: Optional[int] = None,
+    ha_replicas: int = 0,
+    seed: str = "faas",
+) -> Testbed:
+    """Assemble the three-tier FaaS testbed: nodes ↔ tier ↔ registry.
+
+    The registry side is wired exactly as :func:`make_testbed` (or
+    :func:`make_ha_testbed` when ``ha_replicas > 0`` — the Lambda-paper
+    shape: a replicated store behind the shared cache).  One
+    :class:`~repro.net.faas.SharedCacheTier` is attached on its own link
+    with its own :class:`~repro.net.link.TransferLog`, so
+    ``testbed.link.log`` keeps counting *registry WAN egress only* and
+    tier-served traffic shows up on the tier link.  Mint nodes with
+    ``testbed.faas.client()``; each walks pool → tier → registry.
+
+    ``tier_fault_plan`` swaps the tier link for a
+    :class:`~repro.net.faults.FaultyLink`; scope its windows to the tier
+    with ``targets=("faas-tier",)`` (see
+    :data:`~repro.net.faas.FAAS_TIER_ENDPOINT`).  ``faas_retry_policy``
+    governs whole-chain backoff rounds (defaults to a fabric-seeded
+    policy); ``retry_policy``/``fault_plan`` apply to the WAN exactly as
+    in :func:`make_testbed`.
+    """
+    if ha_replicas > 0:
+        testbed = make_ha_testbed(
+            replicas=ha_replicas,
+            bandwidth_mbps=bandwidth_mbps,
+            registry_disk=registry_disk,
+            client_disk=client_disk,
+            pool_capacity_bytes=pool_capacity_bytes,
+            pool_policy=pool_policy,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+            seed=f"{seed}-ha",
+        )
+    else:
+        testbed = make_testbed(
+            bandwidth_mbps=bandwidth_mbps,
+            registry_disk=registry_disk,
+            client_disk=client_disk,
+            pool_capacity_bytes=pool_capacity_bytes,
+            pool_policy=pool_policy,
+            fault_plan=fault_plan,
+            retry_policy=retry_policy,
+        )
+    stats = FaasStats()
+    if tier_fault_plan is not None:
+        tier_link: Link = FaultyLink(
+            testbed.clock, tier_fault_plan, bandwidth_mbps=tier_mbps
+        )
+    else:
+        tier_link = Link(testbed.clock, bandwidth_mbps=tier_mbps)
+    tier = SharedCacheTier(
+        "shared-tier",
+        testbed.clock,
+        tier_link,
+        stats=stats,
+        capacity_bytes=tier_capacity_bytes,
+        ttl_s=tier_ttl_s,
+        admission=AdmissionGate(tier_admission_capacity),
+    )
+    if faas_retry_policy is None:
+        faas_retry_policy = RetryPolicy(seed=f"{seed}-fabric")
+    fabric = FaasFabric(
+        testbed,
+        tier,
+        stats=stats,
+        seed=seed,
+        retry_policy=faas_retry_policy,
+        pool_capacity_bytes=pool_capacity_bytes,
+        pool_policy=pool_policy,
+    )
+    testbed.faas = fabric
+    if testbed.metrics is not None:
+        testbed.metrics.register("faas", stats)
+        if isinstance(tier_link, FaultyLink):
+            testbed.metrics.register(
+                "link_faults", tier_link.fault_stats, scope="faas-tier"
+            )
+        testbed.metrics.register_callback(
+            "faas_retry",
+            faas_retry_policy.metrics,
+            reset=faas_retry_policy.reset_spent,
         )
     return testbed
 

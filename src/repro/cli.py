@@ -22,6 +22,11 @@ Commands:
   exits nonzero on any integrity violation or degraded fallback.
   ``--equivalence`` instead checks a zero-churn single-node edge run is
   byte- and time-identical to the single-tier testbed;
+* ``faas``     — serverless spike sweep: a Zipf-popular function fleet
+  invoked on a seeded Poisson/bursty schedule, each cold start pulling
+  through node pool → shared cache tier → registry; exits nonzero when
+  any invocation fails, any container filesystem diverges from the
+  fault-free registry-only control, or stampede suppression slips;
 * ``perf``     — simulator throughput: events/sec on the canonical
   microflow and deploy-wave scenarios, with cross-mode equivalence and
   double-run determinism gates (exit 1 on drift);
@@ -50,6 +55,7 @@ from repro.bench.deploy import (
 from repro.bench.deploy import container_fs_digest
 from repro.bench.environment import (
     make_edge_testbed,
+    make_faas_testbed,
     make_testbed,
     publish_images,
 )
@@ -64,6 +70,7 @@ from repro.net.faults import (
     OutageWindow,
     byzantine_plan,
 )
+from repro.net.faas import FAAS_TIER_ENDPOINT, FaasPlatform
 from repro.net.topology import Cluster, EdgeCluster, HACluster
 from repro.obs import (
     critical_path,
@@ -73,6 +80,7 @@ from repro.obs import (
     trace_json,
 )
 from repro.workloads.corpus import CorpusBuilder, CorpusConfig
+from repro.workloads.schedule import BurstWindow, ScheduleBuilder
 from repro.workloads.series import SERIES
 
 
@@ -634,6 +642,167 @@ def cmd_edge(args) -> int:
     return 0 if ok else 1
 
 
+FAAS_SCENARIOS = ("steady", "spike", "spike+outage", "spike+byzantine")
+
+
+def _faas_bursts(scenario: str, args) -> tuple:
+    if "spike" not in scenario:
+        return ()
+    return (BurstWindow(args.spike_start, args.spike_len, args.spike_factor),)
+
+
+def _faas_testbed_kwargs(scenario: str, args) -> dict:
+    """make_faas_testbed kwargs for one named scenario."""
+    kwargs = {
+        "bandwidth_mbps": args.bandwidth,
+        "tier_mbps": args.tier_bandwidth,
+        "tier_capacity_bytes": args.tier_capacity or None,
+        "tier_ttl_s": args.tier_ttl or None,
+        "tier_admission_capacity": args.admission or None,
+        "ha_replicas": args.replicas,
+        "seed": f"cli-faas-{args.faas_seed}",
+    }
+    if "outage" in scenario:
+        # Mid-spike shared-tier outage: the window sits inside the burst,
+        # scoped to the tier pseudo-endpoint so the registry stays up.
+        kwargs["tier_fault_plan"] = FaultPlan(
+            seed=f"cli-faas-{args.faas_seed}",
+            outages=(OutageWindow(
+                start_s=args.outage_start, duration_s=args.outage_len
+            ),),
+            targets=(FAAS_TIER_ENDPOINT,),
+        )
+    return kwargs
+
+
+def _faas_control_digests(args, corpus) -> dict:
+    """Fault-free registry-only control: reference → container fs digest.
+
+    The byte-identical acceptance bar: every cold start in every
+    scenario must produce exactly these filesystems, no matter which
+    tier served the bytes.
+    """
+    control_bed = make_testbed(bandwidth_mbps=args.bandwidth)
+    publish_images(control_bed, corpus.images, convert=True)
+    client = control_bed.fresh_client()
+    digests = {}
+    for generated in corpus.images:
+        deploy_with_gear(client, generated)
+        container = client.gear_driver.containers()[-1]
+        digests[generated.reference] = container_fs_digest(container)
+    return digests
+
+
+def cmd_faas(args) -> int:
+    """Serverless invocation-spike sweep over the three-tier cache chain.
+
+    Every scenario must complete every invocation (zero failures, zero
+    degraded fallbacks), produce container filesystems byte-identical to
+    the fault-free registry-only control, keep stampede suppression
+    intact (zero duplicate upstream fetches), and leave no poisoned
+    bytes in any pool or the tier cache; byzantine scenarios must
+    additionally demote the tier.  Exit code 1 on any violation.  Runs
+    are deterministic in the seeds (the ``scripts/check.sh`` faas gate
+    double-runs the JSON output).
+    """
+    scenarios = args.scenario or list(FAAS_SCENARIOS)
+    unknown = [s for s in scenarios if s not in FAAS_SCENARIOS]
+    if unknown:
+        print(f"faas: unknown scenario(s) {unknown}; "
+              f"expected {list(FAAS_SCENARIOS)}", file=sys.stderr)
+        return 2
+    corpus = _corpus(args)
+    control = _faas_control_digests(args, corpus)
+    report = {
+        "images": len(corpus.images),
+        "functions": args.functions,
+        "nodes": args.nodes,
+        "duration_s": args.duration,
+        "rate_per_s": args.rate,
+        "bandwidth_mbps": args.bandwidth,
+        "tier_mbps": args.tier_bandwidth,
+        "replicas": args.replicas,
+        "scenarios": {},
+    }
+    ok = True
+    for scenario in scenarios:
+        bed = make_faas_testbed(**_faas_testbed_kwargs(scenario, args))
+        publish_images(bed, corpus.images, convert=True)
+        if "byzantine" in scenario:
+            bed.faas.tier.byzantine = True
+        platform = FaasPlatform(
+            bed,
+            bed.faas,
+            nodes=args.nodes,
+            keep_warm_s=args.keep_warm or None,
+            seed=f"cli-faas-{args.faas_seed}",
+        )
+        stream = ScheduleBuilder(
+            corpus, seed=f"cli-faas-{args.faas_seed}"
+        ).invocation_stream(
+            duration_s=args.duration,
+            rate_per_s=args.rate,
+            functions=args.functions,
+            skew=args.skew,
+            bursts=_faas_bursts(scenario, args),
+        )
+        run = platform.run(stream)
+        violations = bed.faas.audit_integrity()
+        mismatches = sum(
+            1
+            for reference, digest in run.fs_digests.items()
+            if control.get(reference) != digest
+        )
+        summary = run.as_dict()
+        del summary["fs_digests"]  # bulky; the control check distills it
+        summary["integrity_violations"] = len(violations)
+        summary["control_mismatches"] = mismatches
+        scenario_ok = (
+            run.failures == 0
+            and run.degraded == 0
+            and run.digest_conflicts == 0
+            and mismatches == 0
+            and summary["fabric"]["duplicate_upstream_fetches"] == 0
+            and not violations
+        )
+        if "byzantine" in scenario:
+            scenario_ok = scenario_ok and summary["fabric"]["demotions"] >= 1
+        summary["ok"] = scenario_ok
+        ok = ok and scenario_ok
+        report["scenarios"][scenario] = summary
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+        return 0 if ok else 1
+    print(
+        f"FaaS sweep: {args.functions} functions over {len(corpus.images)} "
+        f"images, {args.nodes} nodes, {args.rate:g}/s for {args.duration:g}s "
+        f"(spike x{args.spike_factor:g} at {args.spike_start:g}s)"
+    )
+    print(
+        format_table(
+            ["Scenario", "Cold", "Warm", "p50 cold (s)", "p99.9 cold (s)",
+             "Sheds", "Coalesced", "Fallbacks", "Saved MB", "Fail", "OK"],
+            [
+                (
+                    scenario,
+                    str(s["cold_starts"]),
+                    str(s["warm_starts"]),
+                    f"{s['cold_p50_s']:.2f}",
+                    f"{s['cold_p999_s']:.2f}",
+                    str(s["fabric"]["tier_sheds"]),
+                    str(s["fabric"]["tier_coalesced"]),
+                    str(s["fabric"]["registry_fallbacks"]),
+                    f"{s['fabric']['egress_saved_bytes'] / 1e6:.2f}",
+                    str(s["failures"]),
+                    "yes" if s["ok"] else "NO",
+                )
+                for scenario, s in report["scenarios"].items()
+            ],
+        )
+    )
+    return 0 if ok else 1
+
+
 #: Coverage floor for the single-deploy trace gate: the span tree must
 #: account for at least this fraction of the deploy makespan.
 TRACE_COVERAGE_FLOOR = 0.95
@@ -1001,6 +1170,59 @@ def build_parser() -> argparse.ArgumentParser:
                            "single-tier testbed")
     edge.add_argument("--json", action="store_true",
                       help="emit the report as one JSON line")
+    faas = sub.add_parser(
+        "faas", parents=[common],
+        help="serverless spike sweep over the three-tier cache chain",
+    )
+    faas.add_argument("--bandwidth", type=float, default=200.0,
+                      help="registry WAN uplink in Mbps")
+    faas.add_argument("--tier-bandwidth", type=float, default=904.0,
+                      help="shared-tier serving bandwidth in Mbps")
+    faas.add_argument("--nodes", type=int, default=6,
+                      help="FaaS worker nodes (functions hash onto them)")
+    faas.add_argument("--functions", type=int, default=40,
+                      help="distinct functions (Zipf-popular, images "
+                           "assigned round-robin by rank)")
+    faas.add_argument("--duration", type=float, default=20.0,
+                      help="invocation-stream horizon in virtual seconds")
+    faas.add_argument("--rate", type=float, default=6.0,
+                      help="baseline Poisson arrival rate per second")
+    faas.add_argument("--skew", type=float, default=1.0,
+                      help="Zipf popularity skew across functions")
+    faas.add_argument("--spike-start", type=float, default=8.0,
+                      help="burst window start in virtual seconds")
+    faas.add_argument("--spike-len", type=float, default=4.0,
+                      help="burst window length in virtual seconds")
+    faas.add_argument("--spike-factor", type=float, default=10.0,
+                      help="arrival-rate multiplier inside the burst")
+    faas.add_argument("--outage-start", type=float, default=9.0,
+                      help="shared-tier outage start (mid-spike default)")
+    faas.add_argument("--outage-len", type=float, default=2.0,
+                      help="shared-tier outage length in virtual seconds")
+    faas.add_argument("--tier-capacity", type=int, default=0,
+                      help="shared-tier cache capacity in bytes "
+                           "(0 = unbounded)")
+    faas.add_argument("--tier-ttl", type=float, default=0.0,
+                      help="shared-tier entry TTL in virtual seconds "
+                           "(0 = no expiry)")
+    faas.add_argument("--admission", type=int, default=4,
+                      help="tier admission capacity: concurrent upstream "
+                           "fills before shedding (0 = unbounded)")
+    faas.add_argument("--keep-warm", type=float, default=6.0,
+                      help="reap containers idle this many virtual "
+                           "seconds (0 = keep forever)")
+    faas.add_argument("--replicas", type=int, default=2,
+                      help="HA Gear registry replicas behind the tier "
+                           "(0 = single registry)")
+    faas.add_argument(
+        "--scenario", nargs="*", default=None,
+        help=f"scenarios to run (default: all of {list(FAAS_SCENARIOS)})",
+    )
+    faas.add_argument("--faas-seed", default="0",
+                      help="seed token for arrivals, placement, backoff, "
+                           "and fault streams")
+    faas.add_argument("--json", action="store_true",
+                      help="emit the sweep report as one JSON line")
     perf = sub.add_parser(
         "perf", parents=[common],
         help="simulator throughput: events/sec on canonical scenarios",
@@ -1054,6 +1276,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_ha(args)
     if args.command == "edge":
         return cmd_edge(args)
+    if args.command == "faas":
+        return cmd_faas(args)
     if args.command == "trace":
         return cmd_trace(args)
     if args.command == "perf":

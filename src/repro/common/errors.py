@@ -53,15 +53,28 @@ class CorruptPayloadError(TransportError):
     """
 
 
-class RegistryOverloadedError(UnavailableError):
+class TierOverloadedError(UnavailableError):
+    """A bounded serving tier shed this request (typed 503 backpressure).
+
+    The common shape of every admission-gate shed: the tier is healthy
+    but full, so it rejects fast instead of queueing unboundedly.
+    Derives from :class:`UnavailableError` so every existing resilience
+    path — :class:`~repro.net.resilience.RetryPolicy` backoff, tier
+    failover, the degraded Docker-pull fallback — treats overload as the
+    transient condition it is.  Crucially, a shed is *deliberate* load
+    control, not a health signal: callers back off and retry (or fall
+    through to the next tier) but never count it against a circuit
+    breaker.
+    """
+
+
+class RegistryOverloadedError(TierOverloadedError):
     """The registry's bounded admission queue shed this request (503).
 
     Raised by a replica's admission gate when more requests are in
-    flight than it will queue.  Derives from
-    :class:`UnavailableError` so every existing resilience path —
-    :class:`~repro.net.resilience.RetryPolicy` backoff, replica
-    failover, the degraded Docker-pull fallback — treats overload as
-    the transient condition it is.
+    flight than it will queue.  The registry-specific face of
+    :class:`TierOverloadedError`, kept distinct so HA accounting can
+    tell replica sheds from shared-cache-tier sheds.
     """
 
 

@@ -14,6 +14,9 @@ replicated serving tier: replica sets with failover, hedged fetches,
 circuit breakers, and load shedding.  :mod:`repro.net.edge` stacks the
 multi-tier edge topology on top: per-site peer serving with a gossip-fed
 tracker, churn/crash/byzantine adversity, and registry fallback.
+:mod:`repro.net.faas` builds the serverless three-tier chain: a
+capacity-bounded shared cache tier with single-flight coalescing, typed
+load shedding, per-tier breakers, and an invocation-driven platform.
 """
 
 from repro.net.edge import (
@@ -26,6 +29,16 @@ from repro.net.edge import (
     EdgeStats,
     EdgeTransport,
     SiteTracker,
+)
+from repro.net.faas import (
+    FAAS_TIER_ENDPOINT,
+    FaasFabric,
+    FaasPlatform,
+    FaasRunReport,
+    FaasStats,
+    FaasTransport,
+    InvocationResult,
+    SharedCacheTier,
 )
 from repro.net.faults import (
     BrownoutWindow,
@@ -64,8 +77,16 @@ __all__ = [
     "EdgeSite",
     "EdgeStats",
     "EdgeTransport",
+    "FAAS_TIER_ENDPOINT",
+    "FaasFabric",
+    "FaasPlatform",
+    "FaasRunReport",
+    "FaasStats",
+    "FaasTransport",
     "FaultPlan",
     "FaultyLink",
+    "InvocationResult",
+    "SharedCacheTier",
     "HAFetchPolicy",
     "HATransport",
     "HealthMonitor",

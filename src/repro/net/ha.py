@@ -19,8 +19,9 @@ robustness layer around it, deterministic under the PR 2 scheduler:
   failover, and backoff rounds under a :class:`~repro.net.resilience.
   RetryPolicy` before ever surfacing the outage to PR 1's degraded
   Docker-pull mode;
-* server-side overload control — a bounded :class:`AdmissionGate` per
-  replica sheds excess requests with a typed
+* server-side overload control — a bounded
+  :class:`~repro.net.resilience.AdmissionGate` per replica (re-exported
+  here for compatibility) sheds excess requests with a typed
   :class:`~repro.common.errors.RegistryOverloadedError`;
 * :class:`HATransport` — a drop-in transport facade routing
   ``gear-registry`` traffic through the policy and everything else
@@ -56,7 +57,11 @@ from repro.common.rng import rng_for
 from repro.common.stats import percentile
 from repro.obs.metrics import MetricSet
 from repro.net.link import Link
-from repro.net.resilience import RETRYABLE_ERRORS, RetryPolicy
+from repro.net.resilience import (  # noqa: F401 - AdmissionGate re-exported
+    RETRYABLE_ERRORS,
+    AdmissionGate,
+    RetryPolicy,
+)
 from repro.net.transport import RpcEndpoint, RpcStats, RpcTransport
 
 #: The endpoint name every Gear registry binds (mirrors
@@ -169,41 +174,6 @@ class CircuitBreaker:
             f"CircuitBreaker({'open' if self._open else 'closed'}, "
             f"trips={self.trips})"
         )
-
-
-# ---------------------------------------------------------------------------
-# admission control
-
-
-class AdmissionGate:
-    """A bounded in-flight request gate: the registry's admission queue.
-
-    ``capacity=None`` admits everything (the single-registry behaviour).
-    A full gate sheds the request — the caller raises
-    :class:`~repro.common.errors.RegistryOverloadedError` — instead of
-    queueing unboundedly, so fleet overload degrades by fast typed
-    rejection rather than by collapse.
-    """
-
-    def __init__(self, capacity: Optional[int] = None) -> None:
-        if capacity is not None and capacity < 1:
-            raise ValueError("admission capacity must be at least 1")
-        self.capacity = capacity
-        self.inflight = 0
-        self.peak_inflight = 0
-
-    def try_enter(self) -> bool:
-        if self.capacity is not None and self.inflight >= self.capacity:
-            return False
-        self.inflight += 1
-        if self.inflight > self.peak_inflight:
-            self.peak_inflight = self.inflight
-        return True
-
-    def exit(self) -> None:
-        if self.inflight <= 0:
-            raise RuntimeError("admission gate exit without matching enter")
-        self.inflight -= 1
 
 
 # ---------------------------------------------------------------------------

@@ -1,11 +1,20 @@
-"""Client-side resilience: retry with backoff under a deadline and budget.
+"""Shared resilience primitives: retry/backoff and admission control.
 
-The retry shape follows what production on-demand loaders converged on
-(AWS's "Exponential Backoff And Jitter"): capped exponential backoff with
-*decorrelated jitter*, bounded by both a per-call deadline and a
-cross-call retry budget so a dying registry cannot absorb unbounded
-client time.  Backoff sleeps advance the shared virtual clock, so
-resilience costs are visible in deploy timings.
+Client side, :class:`RetryPolicy` follows what production on-demand
+loaders converged on (AWS's "Exponential Backoff And Jitter"): capped
+exponential backoff with *decorrelated jitter*, bounded by both a
+per-call deadline and a cross-call retry budget so a dying registry
+cannot absorb unbounded client time.  Backoff sleeps advance the shared
+virtual clock, so resilience costs are visible in deploy timings.
+
+Server side, :class:`AdmissionGate` is the one bounded-in-flight
+implementation every serving tier shares — the HA registry replicas
+(:mod:`repro.net.ha`) and the FaaS shared cache tier
+(:mod:`repro.net.faas`) both gate requests through it, shedding excess
+load with a typed :class:`~repro.common.errors.TierOverloadedError`
+subclass rather than queueing toward collapse.  Sheds are deliberate
+load control, not failures: they back off under a retry policy but never
+trip circuit breakers.
 
 Jitter is drawn from a seeded :func:`repro.common.rng.rng_for` stream:
 the same policy seed and the same failure sequence back off identically
@@ -127,3 +136,41 @@ class RetryPolicy:
             f"deadline={self.deadline_s}, budget={self.budget_s}, "
             f"spent={self.spent_s:.3f}s)"
         )
+
+
+# ---------------------------------------------------------------------------
+# admission control
+
+
+class AdmissionGate:
+    """A bounded in-flight request gate: a serving tier's admission queue.
+
+    ``capacity=None`` admits everything (the single-registry behaviour).
+    A full gate sheds the request — the caller raises a
+    :class:`~repro.common.errors.TierOverloadedError` subclass
+    (:class:`~repro.common.errors.RegistryOverloadedError` for registry
+    replicas) — instead of queueing unboundedly, so overload degrades by
+    fast typed rejection rather than by collapse.  Both the HA registry
+    replicas and the FaaS shared cache tier bound themselves with this
+    one implementation.
+    """
+
+    def __init__(self, capacity: Optional[int] = None) -> None:
+        if capacity is not None and capacity < 1:
+            raise ValueError("admission capacity must be at least 1")
+        self.capacity = capacity
+        self.inflight = 0
+        self.peak_inflight = 0
+
+    def try_enter(self) -> bool:
+        if self.capacity is not None and self.inflight >= self.capacity:
+            return False
+        self.inflight += 1
+        if self.inflight > self.peak_inflight:
+            self.peak_inflight = self.inflight
+        return True
+
+    def exit(self) -> None:
+        if self.inflight <= 0:
+            raise RuntimeError("admission gate exit without matching enter")
+        self.inflight -= 1

@@ -1,0 +1,73 @@
+"""Fractional nearest-rank percentiles: the deep-tail boundary cases.
+
+p99.9 is the FaaS cold-start headline number, and it sits exactly on the
+float trap: ``99.9 / 100 * 1000`` is ``999.0000000000001`` in binary, so
+a naive ``ceil`` reports rank 1000 — p100 — precisely where tail reports
+care most.  These tests pin the intended-decimal rank semantics for the
+boundary sample sizes named in the ISSUE (n = 1, n = 1000, p = 99.9).
+"""
+
+import pytest
+
+from repro.common.stats import EmptySampleError, percentile
+
+
+class TestSingleton:
+    def test_every_q_returns_the_value(self):
+        for q in (0, 0.1, 50, 99.9, 100):
+            assert percentile([7.5], q) == 7.5
+
+
+class TestPair:
+    def test_median_split(self):
+        assert percentile([1.0, 2.0], 50) == 1.0
+        assert percentile([1.0, 2.0], 50.1) == 2.0
+        assert percentile([1.0, 2.0], 0) == 1.0
+        assert percentile([1.0, 2.0], 100) == 2.0
+
+    def test_order_does_not_matter(self):
+        assert percentile([2.0, 1.0], 50) == percentile([1.0, 2.0], 50)
+
+
+class TestDeepTail:
+    def test_p999_over_1000_is_rank_999_not_1000(self):
+        """The float trap: 0.999 * 1000 must not ceil to rank 1000."""
+        values = list(range(1, 1001))  # ranks == values
+        assert percentile(values, 99.9) == 999
+        assert percentile(values, 100) == 1000
+        assert percentile(values, 99) == 990
+
+    def test_fractional_q_between_ranks_rounds_up(self):
+        values = list(range(1, 101))
+        # 99.95% of 100 = 99.95 → no integer rank intended → ceil → 100.
+        assert percentile(values, 99.95) == 100
+        # 99.5% of 100 = 99.5 → rank 100 too; 99.0 is exactly rank 99.
+        assert percentile(values, 99.5) == 100
+        assert percentile(values, 99.0) == 99
+
+    def test_small_sample_fractional_q(self):
+        values = [1.0, 2.0, 3.0, 4.0]
+        # 99.9% of 4 = 3.996 → rank 4: a fractional tail never reads
+        # below the max on tiny samples.
+        assert percentile(values, 99.9) == 4.0
+        assert percentile(values, 75) == 3.0
+        assert percentile(values, 75.1) == 4.0
+
+    def test_q_zero_is_minimum(self):
+        assert percentile([3.0, 1.0, 2.0], 0) == 1.0
+
+
+class TestValidation:
+    def test_empty_raises_typed_error(self):
+        with pytest.raises(EmptySampleError):
+            percentile([], 50)
+
+    def test_typed_error_is_a_value_error(self):
+        with pytest.raises(ValueError):
+            percentile((), 99.9)
+
+    def test_out_of_range_q_rejected(self):
+        with pytest.raises(ValueError):
+            percentile([1.0], -0.1)
+        with pytest.raises(ValueError):
+            percentile([1.0], 100.1)
