@@ -72,6 +72,10 @@ CLI_SCENARIOS = {
         "--scenario", "spike", "spike+outage",
         "--faas-seed", "11", "--json",
     ],
+    "chunk": [
+        "chunks", "--clients", "8", "--big-mib", "4",
+        "--chunk-seed", "11", "--json",
+    ],
     # The perf command's JSON carries only deterministic simulation
     # fields (events, virtual seconds, modeled bytes) plus the recorded
     # pre-refactor baseline; wall-clock throughput never enters the

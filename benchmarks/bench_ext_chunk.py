@@ -1,0 +1,185 @@
+"""Extension: the fault-tolerant chunk-granular read path.
+
+Three claims, each asserted:
+
+* **Time to first read** — a startup that touches only the head of a big
+  model file completes far faster through the chunked viewer than the
+  whole-file download it replaces.
+* **Chunk-level dedup** — a new image version that mutates a fraction of
+  a model's chunks re-fetches only the changed chunks; the shared-chunk
+  index pre-marks the rest from the pool.
+* **Replay determinism** — the faulty-wire sweep (drops + undetected
+  corruption + retries + backoff) produces byte-identical reports on a
+  double run: fault injection, verification, and recovery are all
+  seed-deterministic.
+"""
+
+import json
+
+from repro.blob import Blob, DEFAULT_CHUNK_SIZE
+from repro.common.clock import SimClock
+from repro.common.units import MiB
+from repro.bench.reporting import format_table
+from repro.gear.bigfile import ChunkedGearFileViewer
+from repro.gear.gearfile import GearFile
+from repro.gear.index import GearIndex
+from repro.gear.pool import SharedFilePool
+from repro.gear.registry import GearRegistry
+from repro.gear.viewer import GearFileViewer
+from repro.net.faults import FaultyLink, chunk_plan
+from repro.net.link import Link
+from repro.net.resilience import RetryPolicy
+from repro.net.transport import RpcTransport
+from repro.vfs.tree import FileSystemTree
+
+from conftest import QUICK, run_once
+
+MODEL_BYTES = (32 if QUICK else 128) * MiB
+MODEL_PATH = "/models/llm.bin"
+
+
+def build_env(blob, *, plan=None, pool=None, bandwidth_mbps=100):
+    root = FileSystemTree()
+    root.write_file(MODEL_PATH, blob, parents=True)
+    index = GearIndex.from_tree("ai.gear", "v1", root)
+    clock = SimClock()
+    if plan is not None:
+        link = FaultyLink(clock, plan, bandwidth_mbps=bandwidth_mbps)
+    else:
+        link = Link(clock, bandwidth_mbps=bandwidth_mbps)
+    transport = RpcTransport(link, retry_policy=RetryPolicy(seed="bench-rpc"))
+    registry = GearRegistry()
+    transport.bind(registry.endpoint())
+    registry.upload(GearFile.from_blob(blob))
+    return clock, link, transport, index, registry
+
+
+def test_chunk_time_to_first_read(benchmark):
+    """Reading the model header must not pay for the whole model."""
+
+    def sweep():
+        blob = Blob.synthetic("llm", MODEL_BYTES)
+        results = {}
+        for mode in ("whole-file", "chunked"):
+            clock, link, transport, index, _ = build_env(blob)
+            if mode == "chunked":
+                viewer = ChunkedGearFileViewer(
+                    index, SharedFilePool(), transport=transport
+                )
+                viewer.read_range(MODEL_PATH, 0, 64 * 1024)
+            else:
+                viewer = GearFileViewer(
+                    index, SharedFilePool(), transport=transport
+                )
+                viewer.read_blob(MODEL_PATH)
+            results[mode] = (clock.now, link.log.total_bytes)
+        return results
+
+    results = run_once(benchmark, sweep)
+    print(
+        f"\nExtension — time to first read "
+        f"({MODEL_BYTES // MiB} MiB model, 64 KiB header) @100 Mbps"
+    )
+    print(
+        format_table(
+            ["Mode", "First read (s)", "Bytes (MB)"],
+            [
+                (mode, f"{seconds:.3f}", f"{transferred / 1e6:.1f}")
+                for mode, (seconds, transferred) in results.items()
+            ],
+        )
+    )
+    whole_s, whole_bytes = results["whole-file"]
+    chunk_s, chunk_bytes = results["chunked"]
+    assert chunk_s < whole_s / 5
+    assert chunk_bytes < whole_bytes / 10
+
+
+def test_chunk_dedup_across_versions(benchmark):
+    """v2 mutates 1/8 of the chunks: only those travel again."""
+
+    def sweep():
+        v1 = Blob.synthetic("llm", MODEL_BYTES)
+        v2 = v1.mutate("v2", 0.125)
+        clock, link, transport, index, registry = build_env(v1)
+        pool = SharedFilePool()
+        viewer = ChunkedGearFileViewer(index, pool, transport=transport)
+        viewer.read_range(MODEL_PATH, 0, MODEL_BYTES)
+        v1_bytes = link.log.total_bytes
+
+        registry.upload(GearFile.from_blob(v2))
+        root = FileSystemTree()
+        root.write_file(MODEL_PATH, v2, parents=True)
+        index2 = GearIndex.from_tree("ai.gear", "v2", root)
+        viewer2 = ChunkedGearFileViewer(index2, pool, transport=transport)
+        viewer2.read_range(MODEL_PATH, 0, MODEL_BYTES)
+        v2_bytes = link.log.total_bytes - v1_bytes
+        return v1_bytes, v2_bytes, viewer2.chunk_stats
+
+    v1_bytes, v2_bytes, stats = run_once(benchmark, sweep)
+    total_chunks = MODEL_BYTES // DEFAULT_CHUNK_SIZE
+    print(
+        f"\nExtension — chunk dedup across versions "
+        f"({MODEL_BYTES // MiB} MiB model, 12.5% mutated)"
+    )
+    print(
+        format_table(
+            ["Version", "Bytes (MB)", "Chunks fetched", "Chunks deduped"],
+            [
+                ("v1 (cold)", f"{v1_bytes / 1e6:.1f}", str(total_chunks), "0"),
+                (
+                    "v2 (shared pool)", f"{v2_bytes / 1e6:.1f}",
+                    str(stats.chunks_fetched), str(stats.chunks_deduped),
+                ),
+            ],
+        )
+    )
+    assert stats.chunks_deduped > 0
+    assert stats.chunks_fetched + stats.chunks_deduped == total_chunks
+    # 12.5% mutated → v2 should cost roughly an eighth of v1 on the wire.
+    assert v2_bytes < v1_bytes / 4
+
+
+def test_chunk_faulty_sweep_replays_identically(benchmark):
+    """Double-run the hostile-wire read: reports must be byte-identical."""
+
+    def one_run():
+        blob = Blob.synthetic("llm", MODEL_BYTES)
+        plan = chunk_plan(
+            seed="bench-chunk-faults",
+            drop_rate=0.03,
+            corrupt_rate=0.08,
+            corrupt_detect_rate=0.5,
+        )
+        clock, link, transport, index, _ = build_env(blob, plan=plan)
+        viewer = ChunkedGearFileViewer(
+            index, SharedFilePool(), transport=transport,
+            chunk_retry=RetryPolicy(seed="bench-chunk-verify"),
+        )
+        viewer.read_range(MODEL_PATH, 0, MODEL_BYTES)
+        report = {"total_s": clock.now, "bytes": link.log.total_bytes}
+        report.update(viewer.chunk_stats.metrics())
+        return json.dumps(report, sort_keys=True)
+
+    def sweep():
+        return one_run(), one_run()
+
+    first, second = run_once(benchmark, sweep)
+    report = json.loads(first)
+    print("\nExtension — faulty-wire chunk sweep (double-run replay)")
+    print(
+        format_table(
+            ["Metric", "Value"],
+            [
+                ("virtual seconds", f"{report['total_s']:.3f}"),
+                ("wire bytes (MB)", f"{report['bytes'] / 1e6:.1f}"),
+                ("chunks fetched", str(report["chunks_fetched"])),
+                ("integrity failures",
+                 str(report["chunk_integrity_failures"])),
+                ("refetches", str(report["chunk_refetches"])),
+                ("replay identical", str(first == second)),
+            ],
+        )
+    )
+    assert report["chunk_integrity_failures"] > 0  # the wire was hostile
+    assert first == second

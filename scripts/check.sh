@@ -1,9 +1,9 @@
 #!/usr/bin/env sh
 # Repo health gate: tier-1 tests, warnings-as-errors on the fault-injection,
-# scheduler, journal/recovery, HA, telemetry, edge, and FaaS suites, fleet-
-# contention / crash / HA / trace / edge / FaaS determinism gates, the
-# checked-in perf-trajectory artifacts, and a full bytecode compile of the
-# source tree.
+# scheduler, journal/recovery, HA, telemetry, edge, FaaS, and chunk
+# read-path suites, fleet-contention / crash / HA / trace / edge / FaaS /
+# chunk determinism gates, the checked-in perf-trajectory artifacts, and a
+# full bytecode compile of the source tree.
 #
 # Usage: sh scripts/check.sh   (from the repo root)
 set -eu
@@ -35,6 +35,9 @@ python -W error -m pytest tests/test_net_edge.py tests/test_gear_gc.py -q
 echo "== FaaS tier suites under -W error =="
 python -W error -m pytest tests/test_net_faas.py tests/test_workloads_schedule.py \
     tests/test_common_stats.py -q
+
+echo "== chunk read-path suites under -W error =="
+python -W error -m pytest tests/test_gear_bigfile.py tests/test_gear_chunks.py -q
 
 echo "== fleet-contention determinism gate =="
 # The concurrent simulation must be replayable: two identical sweeps
@@ -114,6 +117,24 @@ for faas_seed in 11 42; do
         "$fleet_tmp/faas-$faas_seed-run2.json"
 done
 echo "FaaS sweeps identical across runs for both seeds"
+
+echo "== chunk-sweep determinism gate =="
+# The chunk-granular read path draws faults, retry jitter, and the
+# mid-chunk crash from seeded streams: for each seed, two identical
+# sweeps (clean / chunk-faults / crash / byzantine) have to emit
+# byte-identical JSON reports (and exit 0, which certifies every run
+# ended byte-identical to the whole-file control with zero poisoned
+# commits, zero duplicate chunk fetches, and zero re-fetched salvaged
+# chunks after crash recovery).
+for chunk_seed in 11 42; do
+    chunk_cmd="python -m repro.cli chunks --clients 8 --big-mib 4 \
+        --chunk-seed $chunk_seed --json"
+    $chunk_cmd > "$fleet_tmp/chunks-$chunk_seed-run1.json"
+    $chunk_cmd > "$fleet_tmp/chunks-$chunk_seed-run2.json"
+    diff "$fleet_tmp/chunks-$chunk_seed-run1.json" \
+        "$fleet_tmp/chunks-$chunk_seed-run2.json"
+done
+echo "chunk sweeps identical across runs for both seeds"
 
 echo "== edge single-tier equivalence gate =="
 # With no peers and no churn the edge tier must cost exactly nothing:

@@ -298,7 +298,16 @@ def container_fs_digest(container: GearContainer) -> str:
     uncrashed run and a crash+fsck+resume run of the same workload must
     produce identical digests, byte for byte.
     """
-    viewer = container.mount
+    return viewer_fs_digest(container.mount)
+
+
+def viewer_fs_digest(viewer) -> str:
+    """:func:`container_fs_digest` over a bare viewer mount.
+
+    The chunks sweep mounts viewers without containers; chunked and
+    whole-file mounts of the same fully-read image must digest
+    identically (the golden chunk-equivalence invariant).
+    """
     tokens = []
     for path, node in viewer.walk():
         if not node.is_file:

@@ -145,6 +145,7 @@ def _register_client_metrics(testbed: Testbed) -> None:
         return
     testbed.metrics.register("pool", testbed.gear_driver.pool.stats)
     testbed.metrics.register("journal", testbed.gear_driver.journal.stats)
+    testbed.metrics.register("chunk", testbed.gear_driver.chunk_stats)
 
 
 def _instrument(testbed: Testbed) -> MetricsRegistry:

@@ -15,7 +15,7 @@ Identity properties the rest of the system relies on:
   compression and Gear-file compression are reproducible.
 """
 
-from repro.blob.blob import Blob, Chunk, DEFAULT_CHUNK_SIZE
+from repro.blob.blob import Blob, Chunk, DEFAULT_CHUNK_SIZE, chunk_fingerprint
 from repro.blob.compressibility import chunk_compressed_size, chunk_compressibility
 
 __all__ = [
@@ -24,4 +24,5 @@ __all__ = [
     "DEFAULT_CHUNK_SIZE",
     "chunk_compressed_size",
     "chunk_compressibility",
+    "chunk_fingerprint",
 ]

@@ -61,6 +61,19 @@ class Chunk:
         return bytes(out[: self.size])
 
 
+def chunk_fingerprint(chunk: Chunk) -> Fingerprint:
+    """Content fingerprint of one chunk (the per-chunk integrity name).
+
+    Fingerprints the canonical identity token rather than materialized
+    bytes: two chunks share a token iff they share content, so the token
+    fingerprint is content-addressed without expanding synthetic
+    keystreams.  The registry's ``chunk_map`` ships these alongside the
+    chunk layout; the chunk-granular read path verifies every
+    ``download_chunk`` response against them before marking it present.
+    """
+    return fingerprint_tokens((chunk.token,))
+
+
 class Blob:
     """The content of one regular file, as an ordered chunk sequence."""
 

@@ -10,6 +10,12 @@ Commands:
 * ``crash``    — crash-consistency sweep: kill a Gear deployment at each
   instrumented crash point, fsck, resume, and check the golden
   resume-equivalence invariant;
+* ``chunks``   — chunk-granular big-file sweep: a concurrent reader wave
+  pulls ranges of a model file chunk by chunk under clean / chunk-fault /
+  mid-chunk-crash / byzantine scenarios; exits nonzero unless every run
+  ends byte-identical to a whole-file control with zero poisoned pool
+  commits, zero duplicate chunk fetches, and zero re-fetched salvaged
+  chunks after crash recovery;
 * ``ha``       — highly-available registry sweep: a client fleet deploys
   against a replicated Gear registry tier under healthy / outage /
   brownout / byzantine / overload scenarios and the report carries
@@ -52,7 +58,7 @@ from repro.bench.deploy import (
     deploy_with_gear_resumable,
     deploy_with_slacker,
 )
-from repro.bench.deploy import container_fs_digest
+from repro.bench.deploy import container_fs_digest, viewer_fs_digest
 from repro.bench.environment import (
     make_edge_testbed,
     make_faas_testbed,
@@ -61,15 +67,34 @@ from repro.bench.environment import (
 )
 from repro.bench.reporting import format_table, gb, pct
 from repro.bench.storage import compare_storage
+from repro.blob import Blob, DEFAULT_CHUNK_SIZE
+from repro.common.clock import SimClock, SimScheduler
+from repro.common.errors import ClientCrash
 from repro.common.stats import percentile
+from repro.common.units import MiB
+from repro.gear.bigfile import ChunkFetchStats, ChunkedGearFileViewer
+from repro.gear.gearfile import GearFile
+from repro.gear.index import GearIndex
+from repro.gear.journal import IntentJournal
+from repro.gear.pool import SharedFilePool
+from repro.gear.recovery import fsck
+from repro.gear.registry import GearRegistry
+from repro.gear.viewer import GearFileViewer
 from repro.net.faults import (
     BrownoutWindow,
+    CrashInjector,
     CrashPlan,
     CrashPoint,
     FaultPlan,
+    FaultyLink,
     OutageWindow,
     byzantine_plan,
+    chunk_plan,
 )
+from repro.net.link import Link
+from repro.net.resilience import RetryPolicy
+from repro.net.transport import RpcTransport
+from repro.vfs.tree import FileSystemTree
 from repro.net.faas import FAAS_TIER_ENDPOINT, FaasPlatform
 from repro.net.topology import Cluster, EdgeCluster, HACluster
 from repro.obs import (
@@ -355,6 +380,251 @@ def cmd_crash(args) -> int:
                     "yes" if cell["fs_equivalent"] else "NO",
                 )
                 for point, cell in report["points"].items()
+            ],
+        )
+    )
+    return 0 if ok else 1
+
+
+#: The ``chunks`` sweep's scenarios over the chunk-granular read path.
+CHUNK_SCENARIOS = ("clean", "chunk-faults", "crash", "byzantine")
+
+#: Paths inside the chunks-sweep image: one big model file (chunked) and
+#: one small config (whole-file path, exercised by the same wave).
+_CHUNK_BIG_PATH = "/models/weights.bin"
+_CHUNK_SMALL_PATH = "/etc/app.conf"
+
+
+def _chunk_scenario_plan(scenario: str, seed: str):
+    """The label-scoped fault plan for one chunks-sweep scenario."""
+    if scenario == "chunk-faults":
+        # Detected half the time (wire checksum → transport retry) and
+        # undetected the rest (slips to chunk verification).
+        return chunk_plan(
+            seed=f"cli-chunks-{seed}",
+            drop_rate=0.04,
+            corrupt_rate=0.10,
+            corrupt_detect_rate=0.5,
+        )
+    if scenario == "byzantine":
+        # Every corruption slides past the wire checksum: only per-chunk
+        # fingerprint verification stands between it and the pool.
+        return chunk_plan(
+            seed=f"cli-chunks-byz-{seed}",
+            corrupt_rate=0.15,
+            corrupt_detect_rate=0.0,
+        )
+    return None
+
+
+def _chunk_env(args, plan=None):
+    """A fresh single-node chunk testbed: registry pre-seeded, no faults
+    on the (local) uploads, chunk-labelled faults only on the wire."""
+    clock = SimClock()
+    if plan is not None:
+        link = FaultyLink(clock, plan, bandwidth_mbps=args.bandwidth)
+    else:
+        link = Link(clock, bandwidth_mbps=args.bandwidth)
+    transport = RpcTransport(
+        link,
+        retry_policy=RetryPolicy(seed=f"cli-chunks-rpc-{args.chunk_seed}"),
+    )
+    registry = GearRegistry()
+    transport.bind(registry.endpoint())
+    root = FileSystemTree()
+    root.write_file(
+        _CHUNK_BIG_PATH,
+        Blob.synthetic(f"model-{args.chunk_seed}", args.big_mib * MiB),
+        parents=True,
+    )
+    root.write_file(_CHUNK_SMALL_PATH, b"mode=chunks\n", parents=True)
+    index = GearIndex.from_tree("ai.gear", "v1", root)
+    for _, node in root.iter_files():
+        registry.upload(GearFile.from_blob(node.blob))
+    pool = SharedFilePool()
+    journal = IntentJournal(clock)
+    return clock, link, transport, index, pool, journal
+
+
+def _chunk_viewer(transport, index, pool, journal, args, *, crash=None):
+    return ChunkedGearFileViewer(
+        index,
+        pool,
+        transport=transport,
+        journal=journal,
+        crash=crash,
+        big_file_threshold=1 * MiB,
+        chunk_retry=RetryPolicy(seed=f"cli-chunks-verify-{args.chunk_seed}"),
+        chunk_stats=ChunkFetchStats(),
+    )
+
+
+def _chunk_wave(clock, viewer, size, clients):
+    """``clients`` concurrent readers covering the big file with
+    overlapping ranges (each reads its slice plus the neighbour's, so
+    single-flight coalescing is exercised on every boundary chunk)."""
+    span = max(1, size // clients)
+
+    def reader(client_id):
+        start = min(client_id * span, max(0, size - span))
+        length = min(size - start, 2 * span)
+        viewer.read_range(_CHUNK_BIG_PATH, start, length)
+        viewer.read_range(_CHUNK_SMALL_PATH, 0, 4)
+
+    with SimScheduler(clock) as scheduler:
+        for client_id in range(clients):
+            scheduler.spawn(reader, client_id, name=f"reader-{client_id:03d}")
+        scheduler.run()
+
+
+def _pool_audit(pool) -> int:
+    """Committed pool entries whose content does not hash to their name
+    (poisoned commits — must be zero under every fault scenario)."""
+    bad = 0
+    for identity in pool.identities():
+        inode = pool.peek(identity)
+        assert inode is not None
+        if identity.startswith("uid-"):
+            continue
+        if inode.blob is None or inode.blob.fingerprint != identity:
+            bad += 1
+    return bad
+
+
+def cmd_chunks(args) -> int:
+    """Chunk-granular read-path sweep (§VII big-file lazy loading).
+
+    A fault-free whole-file control establishes the golden filesystem
+    digest; each scenario then runs a ``--clients``-wide concurrent wave
+    of overlapping ``read_range`` calls through the chunked viewer and
+    must end byte-identical to the control with zero poisoned pool
+    commits, zero duplicate chunk fetches, and zero leaked partials.
+    The ``crash`` scenario additionally kills the client mid-chunk,
+    fscks, resumes, and requires that no salvaged (verified) chunk is
+    re-fetched.  Exit code 1 on any violation.
+    """
+    size = args.big_mib * MiB
+    total_chunks = (size + DEFAULT_CHUNK_SIZE - 1) // DEFAULT_CHUNK_SIZE
+
+    # Control: fault-free whole-file viewer, both files read in full.
+    clock, link, transport, index, pool, journal = _chunk_env(args)
+    control = GearFileViewer(
+        index, pool, transport=transport, journal=journal
+    )
+    control.read_blob(_CHUNK_BIG_PATH)
+    control.read_blob(_CHUNK_SMALL_PATH)
+    control_digest = viewer_fs_digest(control)
+    control_bytes = link.log.total_bytes
+
+    scenarios = args.scenario if args.scenario else list(CHUNK_SCENARIOS)
+    report = {
+        "bandwidth_mbps": args.bandwidth,
+        "clients": args.clients,
+        "big_file_bytes": size,
+        "total_chunks": total_chunks,
+        "chunk_seed": args.chunk_seed,
+        "control": {
+            "fs_digest": control_digest,
+            "network_bytes": control_bytes,
+        },
+        "scenarios": {},
+    }
+    ok = True
+    for scenario in scenarios:
+        plan = _chunk_scenario_plan(scenario, args.chunk_seed)
+        clock, link, transport, index, pool, journal = _chunk_env(args, plan)
+        viewer = _chunk_viewer(transport, index, pool, journal, args)
+        identity = index.entries[_CHUNK_BIG_PATH].identity
+        cell = {}
+
+        if scenario == "crash":
+            # Phase 1: a sequential deployment dies mid-chunk.
+            injector = CrashInjector(
+                clock,
+                CrashPlan(
+                    point=CrashPoint.MID_FETCH,
+                    seed=f"cli-chunks-crash-{args.chunk_seed}",
+                    op_index=args.crash_op if args.crash_op >= 0 else None,
+                    horizon=max(2, total_chunks // 2),
+                ),
+            )
+            crashed_viewer = _chunk_viewer(
+                transport, index, pool, journal, args, crash=injector
+            )
+            try:
+                crashed_viewer.read_range(_CHUNK_BIG_PATH, 0, size)
+                cell["crashed"] = False
+            except ClientCrash:
+                cell["crashed"] = True
+            # Phase 2: restart + fsck salvages every verified chunk.
+            recovery = fsck(pool, [index], [], journal, clock=clock)
+            partial = pool.partials.get(identity)
+            salvaged = len(partial.present) if partial is not None else 0
+            cell["recovery_s"] = recovery.fsck_s
+            cell["chunks_salvaged"] = recovery.chunks_salvaged
+            cell["torn_chunks_dropped"] = recovery.torn_chunks_dropped
+            # Phase 3: the resumed wave must re-fetch only what is missing.
+            _chunk_wave(clock, viewer, size, args.clients)
+            refetched_verified = viewer.chunk_stats.chunks_fetched - (
+                total_chunks - salvaged
+            )
+            cell["refetched_verified"] = refetched_verified
+            ok = ok and cell["crashed"] and refetched_verified == 0
+        else:
+            _chunk_wave(clock, viewer, size, args.clients)
+
+        stats = viewer.chunk_stats
+        digest = viewer_fs_digest(viewer)
+        equivalent = digest == control_digest
+        poisoned = _pool_audit(pool)
+        cell.update(
+            fs_digest=digest,
+            fs_equivalent=equivalent,
+            wave_s=clock.now,
+            network_bytes=link.log.total_bytes,
+            chunks_fetched=stats.chunks_fetched,
+            chunk_bytes_fetched=stats.chunk_bytes_fetched,
+            chunk_integrity_failures=stats.chunk_integrity_failures,
+            chunk_refetches=stats.chunk_refetches,
+            coalesced_waits=stats.coalesced_waits,
+            duplicate_chunk_fetches=stats.duplicate_chunk_fetches,
+            sequential_fallbacks=stats.sequential_fallbacks,
+            parallel_fetches=stats.parallel_fetches,
+            promotions=stats.promotions,
+            poisoned_commits=poisoned,
+            partials_leaked=len(pool.partials),
+            promoted=pool.contains(identity),
+        )
+        ok = ok and equivalent and poisoned == 0
+        ok = ok and stats.duplicate_chunk_fetches == 0
+        ok = ok and len(pool.partials) == 0 and pool.contains(identity)
+        if scenario == "byzantine":
+            # The scenario must actually exercise chunk verification.
+            ok = ok and stats.chunk_integrity_failures > 0
+        report["scenarios"][scenario] = cell
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+        return 0 if ok else 1
+    print(
+        f"chunks sweep @ {args.bandwidth:g} Mbps, {args.clients} readers, "
+        f"{args.big_mib} MiB model ({total_chunks} chunks; control "
+        f"{control_bytes} B)"
+    )
+    print(
+        format_table(
+            ["Scenario", "Fetched", "BadChunks", "Coalesced", "Dup",
+             "Poisoned", "Equivalent"],
+            [
+                (
+                    name,
+                    str(cell["chunks_fetched"]),
+                    str(cell["chunk_integrity_failures"]),
+                    str(cell["coalesced_waits"]),
+                    str(cell["duplicate_chunk_fetches"]),
+                    str(cell["poisoned_commits"]),
+                    "yes" if cell["fs_equivalent"] else "NO",
+                )
+                for name, cell in report["scenarios"].items()
             ],
         )
     )
@@ -1103,6 +1373,29 @@ def build_parser() -> argparse.ArgumentParser:
     )
     crash.add_argument("--json", action="store_true",
                        help="emit the sweep report as one JSON line")
+    chunks = sub.add_parser(
+        "chunks", parents=[common],
+        help="chunk-granular big-file read sweep under fault scenarios",
+    )
+    chunks.add_argument("--bandwidth", type=float, default=904.0)
+    chunks.add_argument("--clients", type=int, default=32,
+                        help="concurrent range readers in the wave")
+    chunks.add_argument("--big-mib", type=int, default=8,
+                        help="model-file size in MiB (128 KiB chunks)")
+    chunks.add_argument(
+        "--scenario", nargs="*", default=None,
+        help=f"scenarios to run (default: all of {list(CHUNK_SCENARIOS)})",
+    )
+    chunks.add_argument("--chunk-seed", default="7",
+                        help="seed token for the fault, retry-jitter, and "
+                             "crash streams")
+    chunks.add_argument(
+        "--crash-op", type=int, default=-1,
+        help="explicit chunk index for the mid-fetch crash "
+             "(-1 = deterministic seeded draw)",
+    )
+    chunks.add_argument("--json", action="store_true",
+                        help="emit the sweep report as one JSON line")
     ha = sub.add_parser(
         "ha", parents=[common],
         help="highly-available registry sweep under fault scenarios",
@@ -1272,6 +1565,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_deploy(args)
     if args.command == "crash":
         return cmd_crash(args)
+    if args.command == "chunks":
+        return cmd_chunks(args)
     if args.command == "ha":
         return cmd_ha(args)
     if args.command == "edge":

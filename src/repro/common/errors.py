@@ -124,6 +124,31 @@ class IntegrityError(ReproError):
     """Content failed verification against its digest or fingerprint."""
 
 
+class ChunkIntegrityError(IntegrityError):
+    """A chunk-granular fetch exhausted its refetch budget on bad chunks.
+
+    Raised by the chunk-granular big-file path
+    (:mod:`repro.gear.bigfile`) when a downloaded chunk repeatedly fails
+    verification against its manifest fingerprint, or when an assembled
+    partial file does not hash to the identity it claims.  The poisoned
+    chunk is quarantined — it never reaches the partial's present set,
+    let alone a committed pool entry.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        identity: str = "",
+        chunk_index: int = -1,
+    ) -> None:
+        super().__init__(message)
+        #: The Gear file identity whose chunk fetch failed.
+        self.identity = identity
+        #: Offending chunk index (-1 for whole-file assembly failures).
+        self.chunk_index = chunk_index
+
+
 class CollisionError(IntegrityError):
     """Two distinct contents mapped to the same fingerprint.
 

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional
 
 from repro.common.clock import Process, SimClock
 from repro.common.errors import GearError, NotFoundError, ReproError
+from repro.gear.bigfile import ChunkedGearFileViewer, ChunkFetchStats
 from repro.docker.container import ContainerState
 from repro.docker.daemon import (
     CONTAINER_DESTROY_BASE_S,
@@ -136,6 +137,9 @@ class GearDriver:
         self.journal = journal if journal is not None else IntentJournal(clock)
         #: Armed crash injector (crash-consistency experiments only).
         self.crash: Optional[CrashInjector] = None
+        #: Node-wide chunk-path accounting, shared by every chunked
+        #: viewer this driver mounts (the ``chunk`` metrics group).
+        self.chunk_stats = ChunkFetchStats()
         #: The report of the most recent :meth:`recover` pass.
         self.last_recovery: Optional[RecoveryReport] = None
         #: Level 2: one live index per deployed image reference.
@@ -203,18 +207,37 @@ class GearDriver:
 
     # -- container-level operations -----------------------------------------
 
-    def create_container(self, reference: str) -> GearContainer:
-        """Mount a viewer over the image's index and a fresh diff."""
+    def create_container(
+        self,
+        reference: str,
+        *,
+        chunked: bool = False,
+        big_file_threshold: Optional[int] = None,
+    ) -> GearContainer:
+        """Mount a viewer over the image's index and a fresh diff.
+
+        ``chunked=True`` mounts a
+        :class:`~repro.gear.bigfile.ChunkedGearFileViewer` instead, so
+        files above ``big_file_threshold`` fault in chunk by chunk
+        through ``read_range``; its chunk counters land on the driver's
+        shared :attr:`chunk_stats`.
+        """
         index = self.get_index(reference)
-        viewer = GearFileViewer(
-            index,
-            self.pool,
+        kwargs = dict(
             transport=self.transport,
             disk=self.daemon.disk,
             fallback=self._make_fallback(reference),
             journal=self.journal,
             crash=self.crash,
         )
+        if chunked:
+            if big_file_threshold is not None:
+                kwargs["big_file_threshold"] = big_file_threshold
+            viewer: GearFileViewer = ChunkedGearFileViewer(
+                index, self.pool, chunk_stats=self.chunk_stats, **kwargs
+            )
+        else:
+            viewer = GearFileViewer(index, self.pool, **kwargs)
         container = GearContainer(index, viewer)
         self._containers[container.id] = container
         return container
@@ -330,6 +353,8 @@ class GearDriver:
         *,
         profile: Optional[StartupProfile] = None,
         byte_budget: Optional[int] = None,
+        chunked: bool = False,
+        big_file_threshold: Optional[int] = None,
     ) -> "tuple[GearContainer, GearDeployReport]":
         """The full §III-D flow: pull index, mount, start.
 
@@ -340,7 +365,9 @@ class GearDriver:
         container's own workload runs.
         """
         report = self.pull_index(reference)
-        container = self.create_container(reference)
+        container = self.create_container(
+            reference, chunked=chunked, big_file_threshold=big_file_threshold
+        )
         self.start_container(container)
         if profile is not None:
             self.spawn_prefetch(container, profile, byte_budget=byte_budget)

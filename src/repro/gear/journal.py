@@ -14,7 +14,10 @@ Record grammar (two two-phase operations):
 * ``fetch-begin identity`` / ``fetch-commit identity`` — bracket one
   admission into the shared file pool (download → staged → committed);
 * ``link-begin identity path reference`` / ``link-commit …`` — bracket
-  one hard-link of a pool file over an index stub.
+  one hard-link of a pool file over an index stub;
+* ``chunk-begin identity index`` / ``chunk-commit identity index`` —
+  bracket one chunk-granular fetch into a partial big file (the chunk
+  index rides in the record's ``path`` field as a decimal string).
 
 Appends cost nothing on the virtual clock: journal records are tiny and
 ride the same write stream as the data they describe, so the journaled
@@ -37,6 +40,8 @@ FETCH_BEGIN = "fetch-begin"
 FETCH_COMMIT = "fetch-commit"
 LINK_BEGIN = "link-begin"
 LINK_COMMIT = "link-commit"
+CHUNK_BEGIN = "chunk-begin"
+CHUNK_COMMIT = "chunk-commit"
 
 
 @dataclass(frozen=True)
@@ -75,6 +80,12 @@ class JournalState:
     #: ``link-begin`` records with no matching ``link-commit`` (matched by
     #: ``(reference, path)``), in begin order.
     open_links: List[JournalRecord] = field(default_factory=list)
+    #: ``(identity, chunk_index)`` pairs with a ``chunk-begin`` not
+    #: followed by ``chunk-commit``, in first-begin order — the chunks a
+    #: crash may have left torn inside a partial big file.
+    open_chunks: List[Tuple[str, int]] = field(default_factory=list)
+    #: identity → chunk indexes with at least one ``chunk-commit``.
+    committed_chunks: Dict[str, Set[int]] = field(default_factory=dict)
 
 
 class IntentJournal:
@@ -146,6 +157,14 @@ class IntentJournal:
         """Record that the hard link at ``path`` is fully placed."""
         return self._append(LINK_COMMIT, identity, path=path, reference=reference)
 
+    def chunk_begin(self, identity: str, chunk_index: int) -> JournalRecord:
+        """Record the intent to fetch one chunk of a partial big file."""
+        return self._append(CHUNK_BEGIN, identity, path=str(chunk_index))
+
+    def chunk_commit(self, identity: str, chunk_index: int) -> JournalRecord:
+        """Record that a chunk's bytes are on disk and verified."""
+        return self._append(CHUNK_COMMIT, identity, path=str(chunk_index))
+
     # -- replay ------------------------------------------------------------
 
     def replay(self) -> JournalState:
@@ -153,6 +172,7 @@ class IntentJournal:
         state = JournalState()
         fetch_open: Dict[str, bool] = {}
         links_open: Dict[Tuple[str, str], JournalRecord] = {}
+        chunks_open: Dict[Tuple[str, int], bool] = {}
         for record in self.records:
             if record.op == FETCH_BEGIN:
                 fetch_open[record.identity] = True
@@ -165,10 +185,23 @@ class IntentJournal:
             elif record.op == LINK_COMMIT:
                 assert record.reference is not None and record.path is not None
                 links_open.pop((record.reference, record.path), None)
+            elif record.op == CHUNK_BEGIN:
+                assert record.path is not None
+                chunks_open[(record.identity, int(record.path))] = True
+            elif record.op == CHUNK_COMMIT:
+                assert record.path is not None
+                key = (record.identity, int(record.path))
+                chunks_open[key] = False
+                state.committed_chunks.setdefault(record.identity, set()).add(
+                    key[1]
+                )
         state.open_fetches = [
             identity for identity, is_open in fetch_open.items() if is_open
         ]
         state.open_links = sorted(links_open.values(), key=lambda r: r.seq)
+        state.open_chunks = [
+            key for key, is_open in chunks_open.items() if is_open
+        ]
         return state
 
     # -- maintenance -------------------------------------------------------

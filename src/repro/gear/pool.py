@@ -17,8 +17,9 @@ from __future__ import annotations
 import enum
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Iterator, Optional, Set
+from typing import Dict, Iterator, Optional, Set, Tuple
 
+from repro.blob import Blob
 from repro.common.clock import SimEvent
 from repro.common.errors import IntegrityError, StorageError
 from repro.gear.gearfile import GearFile
@@ -47,6 +48,38 @@ class PoolStats(MetricSet):
     evictions: int = 0
     eviction_failures: int = 0
     quarantines: int = 0
+
+
+class PartialFile:
+    """A big file being fetched chunk by chunk (the chunk-granular path).
+
+    Owned by the pool so the node lifecycle applies: :meth:`SharedFilePool.
+    clear` drops every partial along with the cache (the leak fix), and
+    :func:`repro.gear.recovery.fsck` can salvage verified-present chunks
+    after a crash without reaching into any viewer.
+
+    ``present`` holds chunk indexes whose bytes are on disk *and* verified
+    against the manifest; ``inflight`` maps chunk index → single-flight
+    event while a fetch is in the air; ``torn`` maps chunk index → bytes a
+    mid-chunk crash left on disk (recovery drops these).
+    """
+
+    __slots__ = ("blob", "fingerprints", "present", "inflight", "torn")
+
+    def __init__(
+        self, blob: Blob, fingerprints: Tuple[str, ...] = ()
+    ) -> None:
+        self.blob = blob
+        self.fingerprints = fingerprints
+        self.present: Set[int] = set()
+        self.inflight: Dict[int, "SimEvent"] = {}
+        self.torn: Dict[int, int] = {}
+
+    def is_complete(self) -> bool:
+        return len(self.present) == len(self.blob.chunks)
+
+    def resident_bytes(self) -> int:
+        return sum(self.blob.chunks[index].size for index in self.present)
 
 
 class SharedFilePool:
@@ -80,6 +113,15 @@ class SharedFilePool:
         #: startup task) wait for the first fetch instead of duplicating
         #: the download.
         self.inflight: Dict[str, "SimEvent"] = {}
+        #: Chunk-granular fetches in progress: identity → PartialFile.
+        #: Pool-owned so :meth:`clear` cannot leak them and recovery can
+        #: salvage their verified chunks (DESIGN.md §15).
+        self.partials: Dict[str, PartialFile] = {}
+        #: Chunk token → reference count over committed entries: the
+        #: chunk-level dedup index.  A new partial pre-marks any chunk
+        #: whose token is already committed, so a version-chain neighbour
+        #: pays the wire only for its changed chunks.
+        self._chunk_tokens: Dict[str, int] = {}
 
     # -- counters (delegate to the registrable stats group) -----------------
 
@@ -215,7 +257,30 @@ class SharedFilePool:
         self._make_room(inode.size)
         self._inodes[identity] = inode
         self._bytes += inode.size
+        self._index_chunks(inode)
         return inode
+
+    def _index_chunks(self, inode: Inode) -> None:
+        if inode.blob is None:
+            return
+        for chunk in inode.blob.chunks:
+            token = chunk.token
+            self._chunk_tokens[token] = self._chunk_tokens.get(token, 0) + 1
+
+    def _unindex_chunks(self, inode: Inode) -> None:
+        if inode.blob is None:
+            return
+        for chunk in inode.blob.chunks:
+            token = chunk.token
+            count = self._chunk_tokens.get(token, 0) - 1
+            if count <= 0:
+                self._chunk_tokens.pop(token, None)
+            else:
+                self._chunk_tokens[token] = count
+
+    def has_chunk(self, token: str) -> bool:
+        """Is a chunk with this content token held by any committed file?"""
+        return token in self._chunk_tokens
 
     def abort(self, identity: str) -> None:
         """Discard a staged entry (failed or torn admission)."""
@@ -255,6 +320,7 @@ class SharedFilePool:
     def _evict(self, identity: str) -> None:
         inode = self._inodes.pop(identity)
         self._bytes -= inode.size
+        self._unindex_chunks(inode)
         self.evictions += 1
 
     # -- management ------------------------------------------------------------
@@ -294,6 +360,12 @@ class SharedFilePool:
         for event in list(self.inflight.values()):
             event.fire()
         self.inflight.clear()
+        for partial in self.partials.values():
+            for event in list(partial.inflight.values()):
+                event.fire()
+            partial.inflight.clear()
+        self.partials.clear()
+        self._chunk_tokens.clear()
 
     def reset_stats(self) -> None:
         """Zero every counter, including quarantine/eviction-failure ones."""

@@ -9,12 +9,52 @@ mirrors that by binding both endpoints on the same transport.
 
 from __future__ import annotations
 
+from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Tuple
 
+from repro.blob import Blob, chunk_fingerprint
 from repro.common.errors import IntegrityError, NotFoundError
 from repro.gear.gearfile import GearFile
 from repro.net.transport import RpcEndpoint
 from repro.storage.objectstore import ObjectStore, StoredObject
+
+
+@dataclass(frozen=True)
+class ChunkManifest:
+    """The ``chunk_map`` response: chunk layout plus integrity names.
+
+    ``fingerprints[i]`` is the content fingerprint the *i*-th
+    ``download_chunk`` response must hash to before the client marks it
+    present.  The manifest itself is tiny framed metadata — the
+    transport checksum always catches damage to it
+    (:meth:`~repro.net.faults.FaultyLink.tamper` returns ``None`` for
+    non-content payloads) — so the fingerprints form a trusted root for
+    per-chunk verification.
+    """
+
+    identity: str
+    blob: Blob
+    fingerprints: Tuple[str, ...]
+
+    @classmethod
+    def for_gear_file(cls, gear_file: GearFile) -> "ChunkManifest":
+        return cls(
+            identity=gear_file.identity,
+            blob=gear_file.blob,
+            fingerprints=tuple(
+                chunk_fingerprint(chunk) for chunk in gear_file.blob.chunks
+            ),
+        )
+
+    @property
+    def chunks(self):
+        """The chunk layout (duck-compatible with the blob it describes)."""
+        return self.blob.chunks
+
+    @property
+    def wire_bytes(self) -> int:
+        """Response framing: offset table plus one 16-byte MD5 per chunk."""
+        return 64 + 32 * len(self.blob.chunks)
 
 
 class GearRegistry:
@@ -155,10 +195,12 @@ class GearRegistry:
         endpoint.register("download", _download)
 
         def _chunk_map(identity: str):
-            # The chunk layout of a Gear file: tiny metadata (an offset
-            # table), used by the big-file partial-read extension.
+            # The chunk layout of a Gear file plus per-chunk fingerprints:
+            # tiny metadata (an offset/digest table), used by the big-file
+            # partial-read extension to verify every chunk it fetches.
             gear_file = self.download(identity)
-            return gear_file.blob, 64 + 16 * len(gear_file.blob.chunks)
+            manifest = ChunkManifest.for_gear_file(gear_file)
+            return manifest, manifest.wire_bytes
 
         endpoint.register("chunk_map", _chunk_map)
 

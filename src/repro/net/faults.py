@@ -113,6 +113,13 @@ class FaultPlan:
     * ``targets`` — endpoint names the plan applies to; ``None`` means
       all RPC traffic.  Transfers outside any RPC call are never
       touched.
+    * ``label_prefixes`` — transfer-label prefixes the plan applies to;
+      ``None`` means every transfer of a targeted call.  This is how
+      faults are scoped *below* the endpoint: the chunk-granular read
+      path labels its traffic ``gear-chunk:…``, so a plan with
+      ``label_prefixes=("gear-chunk:",)`` corrupts or drops individual
+      chunk transfers while whole-file downloads on the same endpoint
+      sail through untouched.
     """
 
     seed: str = "faults"
@@ -126,6 +133,7 @@ class FaultPlan:
     outages: Tuple[OutageWindow, ...] = ()
     brownouts: Tuple[BrownoutWindow, ...] = ()
     targets: Optional[Tuple[str, ...]] = None
+    label_prefixes: Optional[Tuple[str, ...]] = None
 
     def __post_init__(self) -> None:
         for name in ("drop_rate", "corrupt_rate", "corrupt_detect_rate",
@@ -143,6 +151,12 @@ class FaultPlan:
         if endpoint_name is None:
             return False
         return self.targets is None or endpoint_name in self.targets
+
+    def applies_to_label(self, label: str) -> bool:
+        """Does this plan target a transfer labeled ``label``?"""
+        if self.label_prefixes is None:
+            return True
+        return label.startswith(self.label_prefixes)
 
     @property
     def is_null(self) -> bool:
@@ -204,6 +218,11 @@ class FaultyLink(Link):
         #: client process carries its own RPC scope, so interleaved calls
         #: cannot clobber one another's endpoint targeting.
         self._scopes: Dict[int, str] = {}
+        #: Per-thread label of the most recent in-scope transfer, so
+        #: :meth:`roll_corruption` can honour label-scoped plans (the
+        #: response transfer's label decides whether its payload is fair
+        #: game) without racing concurrent processes.
+        self._labels: Dict[int, str] = {}
         self._armed_at: Optional[float] = clock.now
 
     # -- arming ------------------------------------------------------------
@@ -236,7 +255,9 @@ class FaultyLink(Link):
         self._scopes[threading.get_ident()] = endpoint_name
 
     def end_call(self) -> None:
-        self._scopes.pop(threading.get_ident(), None)
+        ident = threading.get_ident()
+        self._scopes.pop(ident, None)
+        self._labels.pop(ident, None)
 
     @property
     def _scope(self) -> Optional[str]:
@@ -270,6 +291,9 @@ class FaultyLink(Link):
 
     def transfer(self, payload_bytes: int, label: str = "") -> float:
         if not self._active:
+            return super().transfer(payload_bytes, label)
+        self._labels[threading.get_ident()] = label
+        if not self.plan.applies_to_label(label):
             return super().transfer(payload_bytes, label)
         plan = self.plan
         window = self._current_outage()
@@ -308,6 +332,10 @@ class FaultyLink(Link):
         """
         if not self._active or not self.plan.corrupt_rate:
             return None
+        if not self.plan.applies_to_label(
+            self._labels.get(threading.get_ident(), "")
+        ):
+            return None
         if self._rng.random() >= self.plan.corrupt_rate:
             return None
         self.fault_stats.corruptions += 1
@@ -327,7 +355,7 @@ class FaultyLink(Link):
         instead.  Collision-handled ``uid-…`` Gear files are not
         self-certifying either and likewise fall back to detection.
         """
-        from repro.blob import Blob
+        from repro.blob import Blob, Chunk
         from repro.gear.gearfile import GearFile
 
         if isinstance(payload, GearFile) and not payload.identity.startswith(
@@ -337,6 +365,14 @@ class FaultyLink(Link):
                 f"corrupt:{payload.identity}:{self._rng.random():.17f}"
             ).encode()
             return GearFile(identity=payload.identity, blob=Blob.from_bytes(junk))
+        if isinstance(payload, Chunk):
+            # A chunk is content-addressed by its manifest fingerprint:
+            # same size, wrong bytes — only the client's per-chunk
+            # verification can tell.
+            return Chunk(
+                seed=f"corrupt:{payload.seed}:{self._rng.random():.17f}",
+                size=payload.size,
+            )
         return None
 
     def __repr__(self) -> str:
@@ -479,6 +515,33 @@ def lossy_plan(
         drop_rate=drop_rate,
         corrupt_rate=corrupt_rate,
         targets=targets,
+    )
+
+
+def chunk_plan(
+    seed: str = "chunk-faults",
+    *,
+    drop_rate: float = 0.0,
+    corrupt_rate: float = 0.0,
+    corrupt_detect_rate: float = 0.5,
+    outages: Tuple[OutageWindow, ...] = (),
+    targets: Optional[Tuple[str, ...]] = ("gear-registry",),
+) -> FaultPlan:
+    """A plan scoped to chunk-granular traffic (``gear-chunk:`` labels).
+
+    Drops, corruption, and outage windows land only on ``download_chunk``
+    transfers and their chunk-map lookups; whole-file fetches on the same
+    registry endpoint are untouched.  This is how the chunk path's
+    integrity/retry machinery is exercised in isolation.
+    """
+    return FaultPlan(
+        seed=seed,
+        drop_rate=drop_rate,
+        corrupt_rate=corrupt_rate,
+        corrupt_detect_rate=corrupt_detect_rate,
+        outages=outages,
+        targets=targets,
+        label_prefixes=("gear-chunk:", "gear-chunkmap:"),
     )
 
 
