@@ -76,6 +76,11 @@ CLI_SCENARIOS = {
         "chunks", "--clients", "8", "--big-mib", "4",
         "--chunk-seed", "11", "--json",
     ],
+    "slo": [
+        "slo", "--series", "nginx", "--versions", "2", "--scale", "0.2",
+        "--target", "nginx", "--clients", "6", "--bandwidth", "200",
+        "--slo-seed", "11", "--json",
+    ],
     # The perf command's JSON carries only deterministic simulation
     # fields (events, virtual seconds, modeled bytes) plus the recorded
     # pre-refactor baseline; wall-clock throughput never enters the

@@ -27,7 +27,9 @@ echo "== HA registry suites under -W error =="
 python -W error -m pytest tests/test_net_ha.py tests/test_gear_replication.py -q
 
 echo "== telemetry suites under -W error =="
-python -W error -m pytest tests/test_obs_trace.py tests/test_obs_metrics.py -q
+python -W error -m pytest tests/test_obs_trace.py tests/test_obs_metrics.py \
+    tests/test_obs_timeline.py tests/test_obs_slo.py \
+    tests/test_metrics_groups.py tests/test_readiness_golden.py -q
 
 echo "== edge/P2P suites under -W error =="
 python -W error -m pytest tests/test_net_edge.py tests/test_gear_gc.py -q
@@ -135,6 +137,23 @@ for chunk_seed in 11 42; do
         "$fleet_tmp/chunks-$chunk_seed-run2.json"
 done
 echo "chunk sweeps identical across runs for both seeds"
+
+echo "== readiness/SLO determinism gate =="
+# The SLO command already double-runs every scenario internally (exit 1
+# on any violated objective, any burn-rate breach, or any intra-run
+# byte drift); the gate additionally double-runs the whole command per
+# seed under -W error, so the full report — sampled timelines included
+# — must be byte-identical across processes too.
+for slo_seed in 11 42; do
+    slo_cmd="python -W error -m repro.cli slo --series nginx --versions 2 \
+        --scale 0.2 --target nginx --clients 6 --bandwidth 200 \
+        --slo-seed $slo_seed --json"
+    $slo_cmd > "$fleet_tmp/slo-$slo_seed-run1.json"
+    $slo_cmd > "$fleet_tmp/slo-$slo_seed-run2.json"
+    diff "$fleet_tmp/slo-$slo_seed-run1.json" \
+        "$fleet_tmp/slo-$slo_seed-run2.json"
+done
+echo "SLO reports identical across runs for both seeds"
 
 echo "== edge single-tier equivalence gate =="
 # With no peers and no churn the edge tier must cost exactly nothing:

@@ -8,7 +8,7 @@ running the Docker daemon, connected by a measured 904 Mbps link.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Iterable, Optional, Sequence
 
 from repro.common.clock import SimClock
@@ -24,6 +24,7 @@ from repro.net.faults import FaultPlan, FaultyLink
 from repro.net.ha import (
     GEAR_ENDPOINT,
     AdmissionGate,
+    BreakerState,
     HAFetchPolicy,
     HATransport,
     HealthMonitor,
@@ -34,6 +35,7 @@ from repro.net.link import Link
 from repro.net.resilience import RetryPolicy
 from repro.net.transport import RpcTransport
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.timeline import TimelineSampler, TimelineStats
 from repro.obs.trace import SpanTracer
 from repro.storage.disk import Disk, DiskProfile, HDD
 from repro.workloads.corpus import GeneratedImage
@@ -64,6 +66,10 @@ class Testbed:
     #: The FaaS distribution fabric when this testbed has a shared
     #: intermediate cache tier (mint nodes with ``faas.client()``).
     faas: Optional[FaasFabric] = None
+    #: Sampler accounting shared by every :func:`make_timeline_sampler`
+    #: built from this testbed; registered as the ``timeline`` metrics
+    #: group so one ``metrics.reset()`` covers it too.
+    timeline_stats: TimelineStats = field(default_factory=TimelineStats)
 
     def attach_tracer(self, tracer: Optional[SpanTracer] = None) -> SpanTracer:
         """Attach (or create) a span tracer on the testbed clock."""
@@ -127,6 +133,7 @@ class Testbed:
             metrics=self.metrics,
             edge=self.edge,
             faas=self.faas,
+            timeline_stats=self.timeline_stats,
         )
         # Replace-by-key: the new client's pool and journal take over the
         # old ones' registry slots.
@@ -158,6 +165,7 @@ def _instrument(testbed: Testbed) -> MetricsRegistry:
     """
     registry = MetricsRegistry()
     testbed.metrics = registry
+    registry.register("timeline", testbed.timeline_stats)
     ha = testbed.ha
     if ha is None:
         for name in ("docker-registry", "gear-registry"):
@@ -544,6 +552,90 @@ def make_faas_testbed(
             reset=faas_retry_policy.reset_spent,
         )
     return testbed
+
+
+def make_timeline_sampler(
+    testbed: Testbed,
+    *,
+    period_s: float = 0.25,
+    jitter: float = 0.2,
+    seed: str = "timeline",
+) -> TimelineSampler:
+    """Build a :class:`TimelineSampler` wired with the standard probes.
+
+    The probe set adapts to the testbed's tiers: the client pool and
+    journal, every link's active flows / busy seconds / transferred
+    bytes, replica breaker state and admission-gate depth under HA, the
+    shared FaaS tier's occupancy/gate/breaker, and LAN aggregates on
+    edge fabrics.  All probes are pure reads — sampling never advances
+    the clock or touches another component's RNG stream.  Pass the
+    result to a wave helper's ``sampler=`` to attach it; detached runs
+    spawn nothing and stay byte-identical.
+    """
+    clock = testbed.clock
+    sampler = TimelineSampler(
+        clock,
+        period_s=period_s,
+        jitter=jitter,
+        seed=seed,
+        stats=testbed.timeline_stats,
+    )
+    pool = testbed.gear_driver.pool
+    sampler.add_probe("pool_inflight", lambda: float(len(pool.inflight)))
+    sampler.add_probe("pool_used_bytes", lambda: float(pool.used_bytes))
+    journal = testbed.gear_driver.journal
+    sampler.add_probe("journal_records", lambda: float(len(journal)))
+    for index, link in enumerate(testbed.all_links()):
+        scope = "base" if index == 0 else f"link-{index}"
+        sampler.add_probe(
+            f"link_active_flows:{scope}",
+            lambda bound=link: float(bound.active_flows),
+        )
+        sampler.add_probe(
+            f"link_busy_s:{scope}",
+            lambda bound=link: float(bound.busy_seconds),
+        )
+        sampler.add_probe(
+            f"link_bytes:{scope}",
+            lambda bound=link: float(bound.log.total_bytes),
+        )
+    if testbed.ha is not None:
+        for replica in testbed.ha.replica_set.replicas:
+            sampler.add_probe(
+                f"breaker_open:{replica.name}",
+                lambda bound=replica: float(
+                    bound.breaker.state(clock.now) is BreakerState.OPEN
+                ),
+            )
+            sampler.add_probe(
+                f"gate_depth:{replica.name}",
+                lambda bound=replica: float(bound.admission.inflight),
+            )
+    if testbed.faas is not None:
+        tier = testbed.faas.tier
+        sampler.add_probe("tier_used_bytes", lambda: float(tier.used_bytes))
+        sampler.add_probe(
+            "tier_gate_depth", lambda: float(tier.admission.inflight)
+        )
+        sampler.add_probe(
+            "tier_breaker_open",
+            lambda: float(tier.breaker.state(clock.now) is BreakerState.OPEN),
+        )
+    if testbed.edge is not None:
+        fabric = testbed.edge
+        sampler.add_probe(
+            "lan_bytes",
+            lambda: float(
+                sum(link.log.total_bytes for link in fabric.lan_links())
+            ),
+        )
+        sampler.add_probe(
+            "lan_active_flows",
+            lambda: float(
+                sum(link.active_flows for link in fabric.lan_links())
+            ),
+        )
+    return sampler
 
 
 def publish_images(

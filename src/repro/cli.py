@@ -36,6 +36,13 @@ Commands:
 * ``perf``     — simulator throughput: events/sec on the canonical
   microflow and deploy-wave scenarios, with cross-mode equivalence and
   double-run determinism gates (exit 1 on drift);
+* ``slo``      — readiness-aware SLO gate: fleet, edge, FaaS, and
+  overlapped-prefetch scenarios each run with the virtual-time timeline
+  sampler attached, declarative objectives (time-to-ready and deploy
+  tails, zero degraded fallbacks, zero poisoned commits) are evaluated
+  with windowed burn rates over the sampled series, and every scenario
+  is run twice — exit 1 on any violated objective or any byte drift
+  between the two runs' timeline/SLO JSON;
 * ``catalog``  — list the Table I series catalog.
 
 All commands run entirely in-process on the simulated testbed; sizes and
@@ -55,6 +62,7 @@ from repro.baselines.slacker import SlackerDriver
 from repro.bench.deploy import (
     deploy_with_docker,
     deploy_with_gear,
+    deploy_with_gear_overlapped,
     deploy_with_gear_resumable,
     deploy_with_slacker,
 )
@@ -63,6 +71,7 @@ from repro.bench.environment import (
     make_edge_testbed,
     make_faas_testbed,
     make_testbed,
+    make_timeline_sampler,
     publish_images,
 )
 from repro.bench.reporting import format_table, gb, pct
@@ -97,9 +106,12 @@ from repro.net.transport import RpcTransport
 from repro.vfs.tree import FileSystemTree
 from repro.net.faas import FAAS_TIER_ENDPOINT, FaasPlatform
 from repro.net.topology import Cluster, EdgeCluster, HACluster
+from repro.gear.prefetch import TraceRecorder
 from repro.obs import (
+    Objective,
     critical_path,
     dump_json,
+    evaluate,
     format_report,
     metrics_snapshot,
     trace_json,
@@ -1073,6 +1085,255 @@ def cmd_faas(args) -> int:
     return 0 if ok else 1
 
 
+SLO_SCENARIOS = ("fleet", "edge", "faas", "prefetch")
+
+#: Declarative objectives per scenario.  Latency thresholds are generous
+#: — this gate certifies the readiness plumbing, burn-rate evaluation,
+#: and determinism, not paper numbers — but ``degraded`` and
+#: ``poisoned_commits`` are exact zeros: no objective may be met by
+#: silently falling back or committing bad bytes.
+SLO_OBJECTIVES = {
+    "fleet": (
+        Objective("ready_p99_s", 300.0, series="ready_s",
+                  window_s=5.0, budget=0.5),
+        Objective("deploy_p99_s", 400.0),
+        Objective("degraded", 0.0, comparator="=="),
+        Objective("poisoned_commits", 0.0, comparator="=="),
+    ),
+    "edge": (
+        Objective("ready_p99_s", 300.0, series="ready_s",
+                  window_s=5.0, budget=0.5),
+        Objective("deploy_p99_s", 400.0),
+        Objective("degraded", 0.0, comparator="=="),
+        Objective("poisoned_commits", 0.0, comparator="=="),
+    ),
+    "faas": (
+        Objective("ready_p99_s", 120.0, series="cold_ready_s",
+                  window_s=2.0, budget=0.5),
+        Objective("deploy_p99_s", 180.0),
+        Objective("degraded", 0.0, comparator="=="),
+        Objective("poisoned_commits", 0.0, comparator="=="),
+    ),
+    "prefetch": (
+        Objective("ready_over_pull", 1.0),
+        Objective("degraded", 0.0, comparator="=="),
+        Objective("poisoned_commits", 0.0, comparator="=="),
+    ),
+}
+
+
+def _slo_fleet(args, seed: str):
+    """Fleet wave under Gear with the timeline sampler attached."""
+    corpus = _corpus(args, series=(args.target,))
+    generated = corpus.by_series[args.target][0]
+    cluster = Cluster(args.clients, bandwidth_mbps=args.bandwidth)
+    publish_images(cluster.registry_testbed, [generated], convert=True)
+    sampler = make_timeline_sampler(
+        cluster.registry_testbed, period_s=0.5, seed=f"{seed}-fleet"
+    )
+    degraded_total = [0]
+
+    def action(node):
+        result = deploy_with_gear(node.testbed, generated, clear_cache=True)
+        if result.degraded:
+            degraded_total[0] += 1
+        return result
+
+    wave = cluster.deploy_wave(action, sampler=sampler)
+    poisoned = sum(
+        _pool_audit(node.testbed.gear_driver.pool) for node in cluster.nodes
+    )
+    observed = {
+        "ready_p99_s": wave.ready_p99_s,
+        "deploy_p99_s": wave.p99_s,
+        "degraded": float(degraded_total[0]),
+        "poisoned_commits": float(poisoned),
+    }
+    return observed, sampler, {"wave": wave.as_dict()}
+
+
+def _slo_edge(args, seed: str):
+    """Edge wave: peer-served Gear deploys, LAN probes sampled."""
+    corpus = _corpus(args, series=(args.target,))
+    generated = corpus.by_series[args.target][0]
+    cluster = EdgeCluster(
+        args.clients,
+        bandwidth_mbps=args.bandwidth,
+        sites=2,
+        seed=f"{seed}-edge",
+    )
+    publish_images(cluster.registry_testbed, [generated], convert=True)
+    sampler = make_timeline_sampler(
+        cluster.registry_testbed, period_s=0.5, seed=f"{seed}-edge"
+    )
+    wave = cluster.deploy_wave(
+        lambda node: deploy_with_gear(node.testbed, generated, clear_cache=True),
+        sampler=sampler,
+    )
+    violations = cluster.fabric.audit_integrity()
+    observed = {
+        "ready_p99_s": wave.ready_p99_s,
+        "deploy_p99_s": wave.p99_s,
+        "degraded": float(wave.degraded),
+        "poisoned_commits": float(len(violations)),
+    }
+    return observed, sampler, {"wave": wave.as_dict()}
+
+
+def _slo_faas(args, seed: str):
+    """FaaS invocation stream with cold-start readiness sampled."""
+    corpus = _corpus(args)
+    bed = make_faas_testbed(
+        bandwidth_mbps=args.bandwidth, seed=f"{seed}-faas"
+    )
+    publish_images(bed, corpus.images, convert=True)
+    platform = FaasPlatform(bed, bed.faas, nodes=2, seed=f"{seed}-faas")
+    stream = ScheduleBuilder(corpus, seed=f"{seed}-faas").invocation_stream(
+        duration_s=6.0, rate_per_s=3.0, functions=10, skew=1.1
+    )
+    sampler = make_timeline_sampler(bed, period_s=0.5, seed=f"{seed}-faas")
+    run = platform.run(stream, sampler=sampler)
+    violations = bed.faas.audit_integrity()
+    observed = {
+        "ready_p99_s": run.cold_ready_p99_s,
+        "deploy_p99_s": run.cold_p99_s,
+        "degraded": float(run.degraded + run.failures),
+        "poisoned_commits": float(len(violations)),
+    }
+    summary = run.as_dict()
+    del summary["fs_digests"]  # bulky; integrity audit distills it
+    return observed, sampler, {"run": summary}
+
+
+def _slo_prefetch(args, seed: str):
+    """Overlapped prefetch judged against readiness, not pull-complete.
+
+    The SOCI-style claim: with a recorded startup profile streaming in
+    while the task runs, the service is *ready* before a full
+    docker-style image pull would even complete.  ``ready_over_pull``
+    is overlapped-Gear time-to-ready over Docker pull-complete time —
+    the objective holds at ``<= 1.0`` and the scenario additionally
+    requires a strict win.
+    """
+    corpus = _corpus(args, series=(args.target,))
+    generated = corpus.by_series[args.target][0]
+    # Slow wire so fetch latency dominates and the overlap is visible:
+    # the full pull scales with the whole image while readiness scales
+    # with the startup read set, so the win widens as the wire slows
+    # (at 60 Mbps the race is a coin flip; at 30 Mbps it is decisive).
+    testbed = make_testbed(bandwidth_mbps=min(args.bandwidth, 30.0))
+    publish_images(testbed, corpus.images, convert=True)
+    name, _, tag = generated.reference.partition(":")
+    gear_ref = f"{name}.gear:{tag}"
+    warm = testbed.fresh_client()
+    deploy_with_gear(warm, generated)
+    recorder = TraceRecorder()
+    recorder.record(gear_ref, warm.gear_driver.containers()[-1].mount)
+    docker = deploy_with_docker(testbed.fresh_client(), generated)
+    client = testbed.fresh_client()
+    overlapped = deploy_with_gear_overlapped(
+        client, generated, recorder, clear_cache=True
+    )
+    observed = {
+        "ready_over_pull": overlapped.ready_s / docker.pull_s,
+        "degraded": float(overlapped.degraded),
+        "poisoned_commits": float(_pool_audit(client.gear_driver.pool)),
+    }
+    extras = {
+        "prefetch": {
+            "overlapped_ready_s": overlapped.ready_s,
+            "overlapped_total_s": overlapped.total_s,
+            "docker_pull_s": docker.pull_s,
+            "docker_total_s": docker.total_s,
+            "strict_win": overlapped.ready_s < docker.pull_s,
+        }
+    }
+    return observed, None, extras
+
+
+_SLO_RUNNERS = {
+    "fleet": _slo_fleet,
+    "edge": _slo_edge,
+    "faas": _slo_faas,
+    "prefetch": _slo_prefetch,
+}
+
+
+def _slo_scenario_payload(scenario: str, args, seed: str):
+    """One scenario run → (JSON-ready payload, objectives-met flag)."""
+    observed, sampler, extras = _SLO_RUNNERS[scenario](args, seed)
+    report = evaluate(SLO_OBJECTIVES[scenario], observed, sampler=sampler)
+    payload = {"observed": observed, "slo": report.as_dict()}
+    if sampler is not None:
+        payload["timeline"] = sampler.as_dict()
+    payload.update(extras)
+    ok = report.ok
+    if scenario == "prefetch":
+        ok = ok and extras["prefetch"]["strict_win"]
+    return payload, ok
+
+
+def cmd_slo(args) -> int:
+    """Readiness-aware SLO gate across the wave scenario matrix.
+
+    Every scenario runs *twice* with identical seeds; the two payloads
+    (observed values, burn rates, the full sampled timeline) must be
+    byte-identical under canonical JSON — a drift means the sampler or
+    the readiness plumbing perturbed the simulation.  Exit code 1 on
+    any violated objective or any nondeterministic replay.
+    """
+    scenarios = args.scenario or list(SLO_SCENARIOS)
+    unknown = [s for s in scenarios if s not in SLO_SCENARIOS]
+    if unknown:
+        print(f"slo: unknown scenario(s) {unknown}; "
+              f"expected {list(SLO_SCENARIOS)}", file=sys.stderr)
+        return 2
+    seed = f"cli-slo-{args.slo_seed}"
+    report = {
+        "clients": args.clients,
+        "bandwidth_mbps": args.bandwidth,
+        "slo_seed": args.slo_seed,
+        "scenarios": {},
+    }
+    ok = True
+    for scenario in scenarios:
+        payload, objectives_ok = _slo_scenario_payload(scenario, args, seed)
+        replay, _ = _slo_scenario_payload(scenario, args, seed)
+        deterministic = dump_json(payload) == dump_json(replay)
+        payload["deterministic"] = deterministic
+        payload["ok"] = objectives_ok and deterministic
+        ok = ok and payload["ok"]
+        report["scenarios"][scenario] = payload
+    if args.json:
+        print(json.dumps(report, sort_keys=True))
+        return 0 if ok else 1
+    print(
+        f"SLO gate: {args.clients} clients @ {args.bandwidth:g} Mbps "
+        f"(seed {args.slo_seed}); every scenario double-run"
+    )
+    rows = []
+    for scenario, payload in report["scenarios"].items():
+        slo = payload["slo"]
+        burn = max(
+            (o["burn_rate"] for o in slo["objectives"]), default=0.0
+        )
+        ready = payload["observed"].get("ready_p99_s")
+        rows.append((
+            scenario,
+            "-" if ready is None else f"{ready:.2f}",
+            f"{burn:.2f}",
+            ",".join(slo["violated"]) or "-",
+            "yes" if payload["deterministic"] else "NO",
+            "yes" if payload["ok"] else "NO",
+        ))
+    print(format_table(
+        ["Scenario", "Ready p99 (s)", "Max burn", "Violated",
+         "Deterministic", "OK"],
+        rows,
+    ))
+    return 0 if ok else 1
+
+
 #: Coverage floor for the single-deploy trace gate: the span tree must
 #: account for at least this fraction of the deploy makespan.
 TRACE_COVERAGE_FLOOR = 0.95
@@ -1531,6 +1792,22 @@ def build_parser() -> argparse.ArgumentParser:
     perf.add_argument("--json", action="store_true",
                       help="emit deterministic fields as one JSON line "
                            "(wall-clock throughput is table-only)")
+    slo = sub.add_parser(
+        "slo", parents=[common],
+        help="readiness-aware SLO gate: objectives + burn rates over "
+             "fleet/edge/faas/prefetch, double-run for determinism",
+    )
+    slo.add_argument("--scenario", nargs="*", default=None,
+                     help=f"subset of {list(SLO_SCENARIOS)} (default: all)")
+    slo.add_argument("--target", default="nginx")
+    slo.add_argument("--bandwidth", type=float, default=200.0)
+    slo.add_argument("--clients", type=int, default=6,
+                     help="fleet/edge wave size")
+    slo.add_argument("--slo-seed", type=int, default=1,
+                     help="scenario seed (corpus seed stays --seed)")
+    slo.add_argument("--json", action="store_true",
+                     help="emit the full report (timelines included) as "
+                          "one JSON line")
     trace = sub.add_parser(
         "trace", parents=[common],
         help="trace a Gear deployment; critical path + Chrome trace export",
@@ -1577,6 +1854,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return cmd_trace(args)
     if args.command == "perf":
         return cmd_perf(args)
+    if args.command == "slo":
+        return cmd_slo(args)
     raise AssertionError("unreachable")
 
 

@@ -64,6 +64,12 @@ class GearDeployReport:
     pull_s: float = 0.0
     index_bytes: int = 0
     index_reused: bool = False
+    #: Virtual seconds from deploy start until the startup read set was
+    #: fully satisfied (time-to-ready).  Filled in after the run phase —
+    #: like the degradation fields, readiness happens while the task is
+    #: already executing, so the bench helpers record it on the report
+    #: the driver keeps per reference.
+    ready_s: float = 0.0
     #: True once any file was served through the degraded path.
     degraded: bool = False
     #: Files served by falling back to a regular Docker layer pull.

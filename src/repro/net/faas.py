@@ -61,6 +61,7 @@ from repro.net.ha import GEAR_ENDPOINT, CircuitBreaker
 from repro.net.link import Link
 from repro.net.resilience import RETRYABLE_ERRORS, AdmissionGate, RetryPolicy
 from repro.obs.metrics import MetricSet
+from repro.obs.timeline import TimelineSampler
 from repro.workloads.schedule import ScheduledInvocation
 
 #: Pseudo-endpoint name tier transfers are scoped under, so a
@@ -636,6 +637,10 @@ class InvocationResult:
     fs_digest: str = ""
     degraded: bool = False
     error: str = ""
+    #: Seconds from invocation start until the function's startup read
+    #: set was satisfied (the service is *ready*) — always
+    #: ``<= latency_s``.  Warm invocations are ready at dispatch.
+    ready_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -650,6 +655,11 @@ class FaasRunReport:
     cold_p50_s: float
     cold_p99_s: float
     cold_p999_s: float
+    #: Time-to-ready tails over cold starts (startup read set satisfied;
+    #: each sample is ``<=`` its invocation's full cold latency).
+    cold_ready_p50_s: float
+    cold_ready_p99_s: float
+    cold_ready_p999_s: float
     warm_p50_s: float
     warm_p999_s: float
     makespan_s: float
@@ -672,6 +682,9 @@ class FaasRunReport:
             "cold_p50_s": self.cold_p50_s,
             "cold_p99_s": self.cold_p99_s,
             "cold_p999_s": self.cold_p999_s,
+            "cold_ready_p50_s": self.cold_ready_p50_s,
+            "cold_ready_p99_s": self.cold_ready_p99_s,
+            "cold_ready_p999_s": self.cold_ready_p999_s,
             "warm_p50_s": self.warm_p50_s,
             "warm_p999_s": self.warm_p999_s,
             "makespan_s": self.makespan_s,
@@ -767,6 +780,7 @@ class FaasPlatform:
                 kind="warm",
                 latency_s=self.WARM_INVOKE_S,
                 fs_digest=resident.fs_digest,
+                ready_s=self.WARM_INVOKE_S,
             )
         if resident is not None:
             # Idled past keep-warm: reap, then cold-start below.
@@ -785,8 +799,12 @@ class FaasPlatform:
                 container = bed.gear_driver.create_container(reference)
                 bed.gear_driver.start_container(container)
                 task = task_for_category(generated.category)
+                pre_task_s = timer.elapsed()
                 with clock.span("task", category=generated.category):
-                    task.run(clock, container.mount, generated.trace)
+                    task_result = task.run(
+                        clock, container.mount, generated.trace
+                    )
+                ready_s = pre_task_s + task_result.ready_s
                 latency = timer.elapsed()
         except Exception as error:  # the zero-failed-invocations gate
             return InvocationResult(
@@ -812,6 +830,7 @@ class FaasPlatform:
             latency_s=latency,
             fs_digest=digest,
             degraded=degraded,
+            ready_s=ready_s,
         )
 
     # -- the run -------------------------------------------------------
@@ -821,6 +840,7 @@ class FaasPlatform:
         stream: Sequence[ScheduledInvocation],
         *,
         arm_faults: bool = True,
+        sampler: Optional[TimelineSampler] = None,
     ) -> FaasRunReport:
         """Replay ``stream`` on the virtual clock and report the tails.
 
@@ -828,6 +848,12 @@ class FaasPlatform:
         instant and spawns the invocation as its own process, so
         concurrent cold starts contend for links, coalesce in flight,
         and shed under the gate exactly as the burst demands.
+
+        With a ``sampler`` attached its process runs alongside and is
+        stopped once every invocation completed, so its wakes never
+        extend the makespan (measured to the last invocation finish).
+        The detached path spawns no extra process and is byte-identical
+        to a run without the sampler.
         """
         clock = self.root.clock
         stats = self.fabric.stats
@@ -838,11 +864,17 @@ class FaasPlatform:
         start = clock.now
         results: List[InvocationResult] = []
         finished: List[float] = []
+        pending: List[Any] = []
 
         def invoke(invocation: ScheduledInvocation) -> None:
+            begun = clock.now
             result = self._invoke(invocation)
             results.append(result)
             finished.append(clock.now)
+            if sampler is not None and result.kind == "cold":
+                sampler.record(
+                    "cold_ready_s", begun + result.ready_s, result.ready_s
+                )
 
         def arrivals() -> Iterator[float]:
             for invocation in stream:
@@ -850,20 +882,36 @@ class FaasPlatform:
                 if delay > 0:
                     yield delay
                     clock.note("faas-arrival-wait")
-                scheduler.spawn(
-                    invoke,
-                    invocation,
-                    name=f"faas-inv:{invocation.position:05d}",
+                pending.append(
+                    scheduler.spawn(
+                        invoke,
+                        invocation,
+                        name=f"faas-inv:{invocation.position:05d}",
+                    )
                 )
 
         with clock.span("faas_run", invocations=len(stream)):
             with SimScheduler(clock) as scheduler:
-                if stream:
-                    scheduler.spawn(arrivals, name="faas-arrivals")
-                scheduler.run()
+                if sampler is None:
+                    # Detached: the exact pre-sampler code path.
+                    if stream:
+                        scheduler.spawn(arrivals, name="faas-arrivals")
+                    scheduler.run()
+                else:
+                    scheduler.spawn(sampler.run, name="timeline")
+                    if stream:
+                        driver = scheduler.spawn(
+                            arrivals, name="faas-arrivals"
+                        )
+                        scheduler.run_until(driver)
+                    for process in list(pending):
+                        scheduler.run_until(process)
+                    sampler.stop()
+                    scheduler.run()
 
         ordered = sorted(results, key=lambda r: r.position)
         cold = [r.latency_s for r in ordered if r.kind == "cold"]
+        cold_ready = [r.ready_s for r in ordered if r.kind == "cold"]
         warm = [r.latency_s for r in ordered if r.kind == "warm"]
         failures = [r for r in ordered if r.kind == "failed"]
         digests: Dict[str, str] = {}
@@ -884,6 +932,9 @@ class FaasPlatform:
             cold_p50_s=_tail(cold, 50),
             cold_p99_s=_tail(cold, 99),
             cold_p999_s=_tail(cold, 99.9),
+            cold_ready_p50_s=_tail(cold_ready, 50),
+            cold_ready_p99_s=_tail(cold_ready, 99),
+            cold_ready_p999_s=_tail(cold_ready, 99.9),
             warm_p50_s=_tail(warm, 50),
             warm_p999_s=_tail(warm, 99.9),
             makespan_s=(max(finished) - start) if finished else 0.0,

@@ -39,6 +39,25 @@ from repro.common.clock import SimClock, SimScheduler
 from repro.common.stats import percentile
 from repro.net.edge import ChurnDriver, ChurnSchedule
 from repro.net.faults import CrashPlan, CrashPoint
+from repro.obs.timeline import TimelineSampler
+
+
+def _outcome_ready_s(outcome: Any) -> Optional[float]:
+    """Extract a wave action's time-to-ready, if it reported one."""
+    ready = getattr(outcome, "ready_s", None)
+    if isinstance(ready, (int, float)) and not isinstance(ready, bool):
+        return float(ready)
+    return None
+
+
+def _ready_tuple(
+    readiness: Dict[str, float], nodes: "List[ClientNode]"
+) -> Tuple[float, ...]:
+    """Per-node readiness in node order (empty unless every node
+    reported one — a mixed wave would silently skew the tails)."""
+    if len(readiness) != len(nodes):
+        return ()
+    return tuple(readiness[node.name] for node in nodes)
 
 
 @dataclass
@@ -66,6 +85,11 @@ class WaveReport:
     egress_bytes: int
     #: Seconds the registry uplink spent carrying ≥1 transfer.
     uplink_busy_s: float
+    #: Per-node time-to-ready (startup read set satisfied), in node
+    #: order.  Empty when the wave action returns no readiness (plain
+    #: callables); populated whenever it returns a
+    #: :class:`~repro.bench.deploy.DeploymentResult`-shaped object.
+    ready_s: Tuple[float, ...] = ()
 
     def _latency_percentile(self, q: float) -> float:
         """Empty-wave sentinel: a wave that deployed nothing (zero
@@ -74,6 +98,11 @@ class WaveReport:
         if not self.latencies_s:
             return 0.0
         return percentile(self.latencies_s, q)
+
+    def _ready_percentile(self, q: float) -> float:
+        if not self.ready_s:
+            return 0.0
+        return percentile(self.ready_s, q)
 
     @property
     def p50_s(self) -> float:
@@ -94,6 +123,18 @@ class WaveReport:
         return sum(self.latencies_s) / len(self.latencies_s)
 
     @property
+    def ready_p50_s(self) -> float:
+        return self._ready_percentile(50)
+
+    @property
+    def ready_p99_s(self) -> float:
+        return self._ready_percentile(99)
+
+    @property
+    def ready_p999_s(self) -> float:
+        return self._ready_percentile(99.9)
+
+    @property
     def utilization(self) -> float:
         """Fraction of the wave the registry uplink was transmitting."""
         if self.makespan_s <= 0:
@@ -109,6 +150,9 @@ class WaveReport:
             "p95_s": self.p95_s,
             "p99_s": self.p99_s,
             "mean_s": self.mean_s,
+            "ready_p50_s": self.ready_p50_s,
+            "ready_p99_s": self.ready_p99_s,
+            "ready_p999_s": self.ready_p999_s,
             "makespan_s": self.makespan_s,
             "egress_bytes": self.egress_bytes,
             "uplink_busy_s": self.uplink_busy_s,
@@ -195,6 +239,7 @@ class Cluster:
         action: Callable[[ClientNode], None],
         *,
         concurrency: Optional[int] = None,
+        sampler: Optional[TimelineSampler] = None,
     ) -> WaveReport:
         """Run ``action`` on every node in concurrent waves.
 
@@ -203,6 +248,13 @@ class Cluster:
         all nodes at once.  Transfers from concurrent clients fair-share
         the registry uplink, so per-client latency degrades with load —
         the contention regime the sequential model cannot measure.
+
+        Pass a :class:`~repro.obs.timeline.TimelineSampler` to record
+        gauge series over the wave; it is spawned as its own scheduler
+        process and stopped after the last client, with the makespan
+        still measured to the last *client* completion.  Detached
+        (``sampler=None``, the default) takes the exact pre-sampler code
+        path — no extra process, byte-identical event stream.
         """
         if concurrency is None:
             concurrency = len(self.nodes)
@@ -214,27 +266,52 @@ class Cluster:
         busy_before = link.busy_seconds
         egress_before = self.registry_egress_bytes
         latencies: Dict[str, float] = {}
+        readiness: Dict[str, float] = {}
+        finished_at: List[float] = []
 
         def client(node: ClientNode) -> None:
             begun = clock.now
             with clock.span("client_deploy", node=node.name):
-                action(node)
+                outcome = action(node)
             latencies[node.name] = clock.now - begun
+            finished_at.append(clock.now)
+            ready = _outcome_ready_s(outcome)
+            if ready is not None:
+                readiness[node.name] = ready
+                if sampler is not None:
+                    sampler.record("ready_s", begun + ready, ready)
 
         with clock.span("wave", concurrency=concurrency):
             with SimScheduler(clock) as scheduler:
-                for offset in range(0, len(self.nodes), concurrency):
-                    for node in self.nodes[offset:offset + concurrency]:
-                        scheduler.spawn(client, node, name=node.name)
+                if sampler is None:
+                    for offset in range(0, len(self.nodes), concurrency):
+                        for node in self.nodes[offset:offset + concurrency]:
+                            scheduler.spawn(client, node, name=node.name)
+                        scheduler.run()
+                    makespan_s = clock.now - start
+                else:
+                    scheduler.spawn(sampler.run, name="timeline")
+                    for offset in range(0, len(self.nodes), concurrency):
+                        batch = [
+                            scheduler.spawn(client, node, name=node.name)
+                            for node in self.nodes[offset:offset + concurrency]
+                        ]
+                        for process in batch:
+                            scheduler.run_until(process)
+                    sampler.stop()
                     scheduler.run()
+                    makespan_s = (
+                        (max(finished_at) - start) if finished_at else 0.0
+                    )
                 self.last_wave_events = scheduler.events_processed
 
         return WaveReport(
             concurrency=concurrency,
             latencies_s=tuple(latencies[node.name] for node in self.nodes),
-            makespan_s=clock.now - start,
+            makespan_s=makespan_s,
             egress_bytes=self.registry_egress_bytes - egress_before,
             uplink_busy_s=link.busy_seconds - busy_before,
+            ready_s=_ready_tuple(readiness, self.nodes),
         )
 
 
@@ -322,6 +399,7 @@ class HACluster(Cluster):
         action: Callable[[ClientNode], Any],
         *,
         concurrency: Optional[int] = None,
+        sampler: Optional[TimelineSampler] = None,
     ) -> HAWaveReport:
         """Concurrent waves with the health monitor running alongside.
 
@@ -351,6 +429,7 @@ class HACluster(Cluster):
         egress_before = self.registry_egress_bytes
         start = clock.now
         latencies: Dict[str, float] = {}
+        readiness: Dict[str, float] = {}
         finished_at: List[float] = []
         degraded_total = [0]
 
@@ -362,9 +441,16 @@ class HACluster(Cluster):
             finished_at.append(clock.now)
             if outcome is not None and getattr(outcome, "degraded", False):
                 degraded_total[0] += 1
+            ready = _outcome_ready_s(outcome)
+            if ready is not None:
+                readiness[node.name] = ready
+                if sampler is not None:
+                    sampler.record("ready_s", begun + ready, ready)
 
         with clock.span("wave", concurrency=concurrency):
             with SimScheduler(clock) as scheduler:
+                if sampler is not None:
+                    scheduler.spawn(sampler.run, name="timeline")
                 if ha.monitor is not None:
                     ha.monitor.start(scheduler)
                 for offset in range(0, len(self.nodes), concurrency):
@@ -376,6 +462,8 @@ class HACluster(Cluster):
                         scheduler.run_until(process)
                 if ha.monitor is not None:
                     ha.monitor.stop()
+                if sampler is not None:
+                    sampler.stop()
                 scheduler.run()
 
         after = stats.as_dict()
@@ -401,6 +489,7 @@ class HACluster(Cluster):
             demotions=delta["demotions"],
             degraded=degraded_total[0],
             probes=sum(r.stats.probes for r in replicas) - probes_before,
+            ready_s=_ready_tuple(readiness, self.nodes),
         )
 
 
@@ -553,6 +642,7 @@ class EdgeCluster(Cluster):
         action: Callable[[ClientNode], Any],
         *,
         concurrency: Optional[int] = None,
+        sampler: Optional[TimelineSampler] = None,
     ) -> EdgeWaveReport:
         """Concurrent waves with gossip and churn running alongside.
 
@@ -576,6 +666,7 @@ class EdgeCluster(Cluster):
         lan_busy_before = sum(link.busy_seconds for link in lan_links)
         start = clock.now
         latencies: Dict[str, float] = {}
+        readiness: Dict[str, float] = {}
         finished_at: List[float] = []
         degraded_total = [0]
 
@@ -585,11 +676,18 @@ class EdgeCluster(Cluster):
                 outcome = action(node)
             latencies[node.name] = clock.now - begun
             finished_at.append(clock.now)
+            ready = _outcome_ready_s(outcome)
+            if ready is not None:
+                readiness[node.name] = ready
+                if sampler is not None:
+                    sampler.record("ready_s", begun + ready, ready)
             if outcome is not None and getattr(outcome, "degraded", False):
                 degraded_total[0] += 1
 
         with clock.span("wave", concurrency=concurrency):
             with SimScheduler(clock) as scheduler:
+                if sampler is not None:
+                    scheduler.spawn(sampler.run, name="timeline")
                 for site in fabric.sites:
                     site.start_gossip(scheduler)
                 self.churn.start(scheduler)
@@ -603,6 +701,8 @@ class EdgeCluster(Cluster):
                 for site in fabric.sites:
                     site.stop_gossip()
                 self.churn.stop()
+                if sampler is not None:
+                    sampler.stop()
                 scheduler.run()
 
         after = stats.as_dict()
@@ -638,4 +738,5 @@ class EdgeCluster(Cluster):
             lan_busy_s=(
                 sum(link.busy_seconds for link in lan_links) - lan_busy_before
             ),
+            ready_s=_ready_tuple(readiness, self.nodes),
         )

@@ -110,6 +110,40 @@ class Histogram:
         self.sum = 0.0
         self.count = 0
 
+    def quantile(self, q: float) -> float:
+        """Nearest-bucket upper-edge estimate of the ``q``-quantile.
+
+        Walks the cumulative counts to the nearest-rank observation and
+        returns that bucket's *upper edge* — a conservative (never
+        under-reporting) tail estimate, which is the right bias for SLO
+        checks.  An empty histogram reports 0.0 (the wave-report empty
+        sentinel); a rank landing in the ``+inf`` overflow bucket
+        reports ``inf``, making "the tail escaped the instrumented
+        range" impossible to mistake for health.
+
+        Rank semantics match :func:`repro.common.stats.percentile`
+        (nearest rank, with the ceil taken against the intended decimal
+        value of ``q`` rather than its binary float representation, so
+        q=0.999 over 1000 observations is rank 999, not 1000).
+        """
+        if not 0.0 <= q <= 1.0:
+            raise ValueError(f"quantile wants q in [0, 1], got {q}")
+        if self.count == 0:
+            return 0.0
+        scaled = q * self.count
+        nearest = round(scaled)
+        if abs(scaled - nearest) <= 1e-9 * max(1.0, nearest):
+            rank = nearest
+        else:
+            rank = int(scaled) + 1
+        rank = max(1, min(rank, self.count))
+        cumulative = 0
+        for index, bound in enumerate(self.bounds):
+            cumulative += self.counts[index]
+            if cumulative >= rank:
+                return bound
+        return float("inf")
+
     def bucket_counts(self) -> Dict[str, int]:
         """Per-bucket counts keyed by formatted bound (plus ``inf``)."""
         out = {

@@ -1,0 +1,200 @@
+"""Declarative service-level objectives with windowed burn rates.
+
+The readiness/SLO plane's judgement half: a wave produces scalar
+observations (``ready_p99_s``, ``deploy_p99_s``, ``degraded``,
+``poisoned_commits``) and, when a :class:`~repro.obs.timeline.
+TimelineSampler` rode along, per-event series (each deployment's
+readiness latency at the instant it became ready).  An
+:class:`Objective` declares what "healthy" means for one observation;
+:func:`evaluate` checks every objective and, where a series is named,
+computes *windowed burn rates*: the series is cut into fixed
+virtual-time windows and each window's violating fraction is divided by
+the objective's error budget.  A burn rate of 1.0 means the window
+consumed its budget exactly; above 1.0 the objective is burning faster
+than budget and the objective fails even if the end-of-run scalar
+squeaked under the threshold — the standard SRE alerting shape, on
+virtual time.
+
+Everything here is pure arithmetic over already-recorded numbers: no
+clocks, no RNGs, byte-deterministic outputs (``as_dict`` under
+``dump_json``).  This module imports nothing from the rest of
+:mod:`repro` beyond its own package.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.obs.timeline import TimelineSampler, TimeSeries
+
+#: Supported comparators: ``<=`` for latency/utilization ceilings,
+#: ``==`` for exact invariants (``degraded == 0``).
+_COMPARATORS = ("<=", "==")
+
+
+@dataclass(frozen=True)
+class Objective:
+    """One declarative objective over a wave's observations."""
+
+    #: Key into the observed-values mapping (e.g. ``ready_p99_s``).
+    name: str
+    threshold: float
+    comparator: str = "<="
+    #: Timeline series to burn-rate against (None = scalar-only check).
+    series: Optional[str] = None
+    #: Window width for burn-rate computation, virtual seconds.
+    window_s: float = 2.0
+    #: Error budget: tolerated violating fraction per window.
+    budget: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.comparator not in _COMPARATORS:
+            raise ValueError(
+                f"objective {self.name!r}: comparator must be one of "
+                f"{_COMPARATORS}, got {self.comparator!r}"
+            )
+        if self.series is not None and self.window_s <= 0:
+            raise ValueError(
+                f"objective {self.name!r}: window_s must be positive"
+            )
+        if self.series is not None and not 0.0 < self.budget <= 1.0:
+            raise ValueError(
+                f"objective {self.name!r}: budget must be in (0, 1]"
+            )
+
+    def violates(self, value: float) -> bool:
+        """Does one observation break the objective?"""
+        if self.comparator == "==":
+            return value != self.threshold
+        return value > self.threshold
+
+
+@dataclass(frozen=True)
+class ObjectiveOutcome:
+    """One evaluated objective: observation, verdict, burn accounting."""
+
+    name: str
+    comparator: str
+    threshold: float
+    observed: float
+    ok: bool
+    #: Scalar burn: fraction of the threshold consumed (``<=``) or a
+    #: 0/1 violation flag (``==``); with a series, the *worst window's*
+    #: violating-fraction / budget ratio.
+    burn_rate: float
+    #: Number of burn windows evaluated (0 when no series was wired).
+    windows: int = 0
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "name": self.name,
+            "comparator": self.comparator,
+            "threshold": self.threshold,
+            "observed": self.observed,
+            "ok": self.ok,
+            "burn_rate": self.burn_rate,
+            "windows": self.windows,
+        }
+
+
+@dataclass(frozen=True)
+class SloReport:
+    """Every objective's outcome for one wave."""
+
+    outcomes: Tuple[ObjectiveOutcome, ...]
+
+    @property
+    def ok(self) -> bool:
+        return all(outcome.ok for outcome in self.outcomes)
+
+    def violated(self) -> List[str]:
+        return [outcome.name for outcome in self.outcomes if not outcome.ok]
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "ok": self.ok,
+            "violated": self.violated(),
+            "objectives": [outcome.as_dict() for outcome in self.outcomes],
+        }
+
+
+def window_burn_rates(
+    series: TimeSeries, objective: Objective
+) -> List[float]:
+    """Per-window burn rates of ``series`` against ``objective``.
+
+    The series' span ``[t_first, t_last]`` is cut into consecutive
+    ``window_s``-wide windows anchored at the first point.  Each
+    window's burn is its violating fraction over the objective's
+    budget: 0.0 = clean window, 1.0 = budget exactly consumed, above
+    1.0 = burning faster than budget.  Empty series yield no windows.
+    """
+    if not series.points:
+        return []
+    t0 = series.points[0][0]
+    buckets: Dict[int, List[float]] = {}
+    for at_s, value in series.points:
+        buckets.setdefault(int((at_s - t0) / objective.window_s), []).append(
+            value
+        )
+    rates: List[float] = []
+    for index in sorted(buckets):
+        values = buckets[index]
+        bad = sum(1 for value in values if objective.violates(value))
+        rates.append((bad / len(values)) / objective.budget)
+    return rates
+
+
+def _scalar_burn(objective: Objective, observed: float) -> float:
+    """Budget consumption of the end-of-run scalar alone."""
+    if objective.comparator == "==":
+        return 0.0 if not objective.violates(observed) else 1.0
+    if objective.threshold > 0:
+        return observed / objective.threshold
+    return 0.0 if not objective.violates(observed) else 1.0
+
+
+def evaluate(
+    objectives: Sequence[Objective],
+    observed: Mapping[str, float],
+    sampler: Optional[TimelineSampler] = None,
+) -> SloReport:
+    """Check every objective against ``observed`` (+ optional timeline).
+
+    Missing observations are hard errors — an SLO silently evaluating
+    against nothing would report vacuous health.  When an objective
+    names a series and the sampler recorded it, the objective must
+    *also* keep every burn window at or under 1.0.
+    """
+    outcomes: List[ObjectiveOutcome] = []
+    for objective in objectives:
+        if objective.name not in observed:
+            raise KeyError(
+                f"objective {objective.name!r} has no observed value; "
+                f"have {sorted(observed)}"
+            )
+        value = float(observed[objective.name])
+        ok = not objective.violates(value)
+        burn = _scalar_burn(objective, value)
+        windows = 0
+        if objective.series is not None and sampler is not None:
+            series = sampler.series.get(objective.series)
+            if series is not None:
+                rates = window_burn_rates(series, objective)
+                windows = len(rates)
+                if rates:
+                    burn = max(rates)
+                    ok = ok and burn <= 1.0
+        outcomes.append(
+            ObjectiveOutcome(
+                name=objective.name,
+                comparator=objective.comparator,
+                threshold=objective.threshold,
+                observed=value,
+                ok=ok,
+                burn_rate=burn,
+                windows=windows,
+            )
+        )
+    return SloReport(outcomes=tuple(outcomes))

@@ -42,6 +42,11 @@ class TaskResult:
     bytes_read: int
     bytes_written: int
     duration_s: float
+    #: Elapsed virtual seconds (within the task) until the startup read
+    #: set — every access in the trace — was fully satisfied.  The
+    #: service is *ready* here; writes and compute after this point are
+    #: steady-state work, not startup latency (ROADMAP item 5b).
+    ready_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -75,6 +80,10 @@ class TaskModel:
             clock.advance(
                 PER_READ_COST_S + blob.size / LOCAL_READ_BPS, "task-read"
             )
+        # The startup read set is satisfied: the service is ready.  The
+        # instant is free when no tracer is attached (null-object path).
+        ready_s = timer.elapsed()
+        clock.instant("ready", ref=trace.reference)
         bytes_written = 0
         for i in range(self.writes):
             payload = b"x" * self.write_bytes
@@ -88,6 +97,7 @@ class TaskModel:
             bytes_read=bytes_read,
             bytes_written=bytes_written,
             duration_s=timer.elapsed(),
+            ready_s=ready_s,
         )
 
 

@@ -73,6 +73,46 @@ class TestHistogram:
         assert histogram.count == 2
         assert histogram.sum == pytest.approx(3.25)
 
+    def test_quantile_of_empty_histogram_is_zero(self):
+        histogram = Histogram(bounds=(1.0, 5.0))
+        assert histogram.quantile(0.5) == 0.0
+        assert histogram.quantile(0.999) == 0.0
+
+    def test_quantile_single_bucket_returns_its_upper_edge(self):
+        histogram = Histogram(bounds=(2.0,))
+        histogram.observe(0.5)
+        assert histogram.quantile(0.0) == 2.0
+        assert histogram.quantile(0.5) == 2.0
+        assert histogram.quantile(1.0) == 2.0
+
+    def test_quantile_walks_cumulative_counts(self):
+        histogram = Histogram(bounds=(1.0, 5.0, 10.0))
+        for value in (0.5, 0.5, 3.0, 7.0):
+            histogram.observe(value)
+        assert histogram.quantile(0.5) == 1.0
+        assert histogram.quantile(0.75) == 5.0
+        assert histogram.quantile(1.0) == 10.0
+
+    def test_quantile_overflow_bucket_is_inf(self):
+        histogram = Histogram(bounds=(1.0,))
+        histogram.observe(99.0)
+        assert histogram.quantile(0.999) == float("inf")
+
+    def test_quantile_rank_matches_percentile_convention(self):
+        # q=0.999 over 1000 observations selects rank 999, not 1000 —
+        # the same nearest-rank arithmetic as repro.common.stats.
+        histogram = Histogram(bounds=(1.0, 2.0))
+        for i in range(1000):
+            histogram.observe(1.0 if i < 999 else 2.0)
+        assert histogram.quantile(0.999) == 1.0
+
+    def test_quantile_rejects_out_of_range(self):
+        histogram = Histogram(bounds=(1.0,))
+        with pytest.raises(ValueError):
+            histogram.quantile(-0.1)
+        with pytest.raises(ValueError):
+            histogram.quantile(1.1)
+
     def test_empty_snapshot_is_all_zeros(self):
         histogram = Histogram(bounds=(0.5, 2.0))
         out = {}

@@ -1,0 +1,114 @@
+"""SLO objectives: declarative checks plus windowed burn rates."""
+
+import pytest
+
+from repro.common.clock import SimClock
+from repro.obs import (
+    Objective,
+    TimelineSampler,
+    evaluate,
+    window_burn_rates,
+)
+
+
+class TestObjective:
+    def test_leq_violation(self):
+        objective = Objective("deploy_p99_s", 10.0)
+        assert not objective.violates(10.0)
+        assert objective.violates(10.5)
+
+    def test_eq_violation(self):
+        objective = Objective("degraded", 0.0, comparator="==")
+        assert not objective.violates(0.0)
+        assert objective.violates(1.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Objective("x", 1.0, comparator=">=")
+        with pytest.raises(ValueError):
+            Objective("x", 1.0, series="x", window_s=0.0)
+        with pytest.raises(ValueError):
+            Objective("x", 1.0, series="x", budget=0.0)
+
+
+class TestBurnWindows:
+    def _series(self, points):
+        clock = SimClock()
+        sampler = TimelineSampler(clock)
+        for at_s, value in points:
+            sampler.record("lat", at_s, value)
+        return sampler.series_for("lat")
+
+    def test_no_violations_zero_burn(self):
+        series = self._series([(0.0, 1.0), (1.0, 1.0), (3.0, 1.0)])
+        objective = Objective("lat", 5.0, series="lat", window_s=2.0,
+                              budget=0.5)
+        assert window_burn_rates(series, objective) == [0.0, 0.0]
+
+    def test_burn_is_violating_fraction_over_budget(self):
+        # Window 1: one of two points violates -> 0.5 / 0.25 = 2.0.
+        series = self._series([(0.0, 10.0), (1.0, 1.0), (2.5, 1.0)])
+        objective = Objective("lat", 5.0, series="lat", window_s=2.0,
+                              budget=0.25)
+        rates = window_burn_rates(series, objective)
+        assert rates == [pytest.approx(2.0), 0.0]
+
+    def test_empty_series_no_windows(self):
+        series = self._series([])
+        objective = Objective("lat", 5.0, series="lat")
+        assert window_burn_rates(series, objective) == []
+
+
+class TestEvaluate:
+    def test_all_met(self):
+        report = evaluate(
+            (
+                Objective("ready_p99_s", 10.0),
+                Objective("degraded", 0.0, comparator="=="),
+            ),
+            {"ready_p99_s": 4.0, "degraded": 0.0},
+        )
+        assert report.ok
+        assert report.violated() == []
+
+    def test_violations_listed_and_ok_false(self):
+        report = evaluate(
+            (Objective("ready_p99_s", 1.0),),
+            {"ready_p99_s": 4.0},
+        )
+        assert not report.ok
+        assert report.violated() == ["ready_p99_s"]
+        assert report.as_dict()["violated"] == ["ready_p99_s"]
+
+    def test_missing_observation_is_hard_error(self):
+        with pytest.raises(KeyError):
+            evaluate((Objective("ready_p99_s", 1.0),), {})
+
+    def test_series_burn_can_fail_a_met_scalar(self):
+        # The scalar p99 is inside the threshold, but one burn window is
+        # saturated with violations: the objective must still fail.
+        clock = SimClock()
+        sampler = TimelineSampler(clock)
+        for at_s in (0.0, 0.5, 1.0):
+            sampler.record("ready_s", at_s, 100.0)
+        sampler.record("ready_s", 10.0, 1.0)
+        report = evaluate(
+            (
+                Objective("ready_p99_s", 50.0, series="ready_s",
+                          window_s=2.0, budget=0.5),
+            ),
+            {"ready_p99_s": 40.0},
+            sampler=sampler,
+        )
+        assert not report.ok
+        outcome = report.outcomes[0]
+        assert outcome.burn_rate > 1.0
+        assert outcome.windows == 2
+
+    def test_series_objective_without_sampler_is_scalar_only(self):
+        report = evaluate(
+            (Objective("ready_p99_s", 50.0, series="ready_s"),),
+            {"ready_p99_s": 40.0},
+        )
+        assert report.ok
+        assert report.outcomes[0].windows == 0
